@@ -1,0 +1,147 @@
+// E5 — Wait-freedom vs lock-freedom under writer pressure (the paper's
+// Wait-Freedom restriction, Section 2).
+//
+// Part 1 (deterministic adversary): a simulated scheduler rations the
+// scanner to one step per P writer steps. The double-collect scanner's
+// cost grows without bound as pressure rises; the helping scanners stay
+// within their proven round bounds; the Anderson scanner takes exactly
+// TR(C,R) steps no matter what.
+//
+// Part 2 (native free-running): W writer threads hammer while one
+// scanner thread scans; we report max collects/attempts per scan for
+// the retry-based implementations.
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baselines/afek_snapshot.h"
+#include "baselines/double_collect.h"
+#include "baselines/seqlock_snapshot.h"
+#include "baselines/unbounded_helping.h"
+#include "core/composite_register.h"
+#include "sched/policy.h"
+#include "sched/sim_scheduler.h"
+#include "util/op_counter.h"
+
+namespace {
+
+using namespace compreg;  // NOLINT: bench-local brevity
+
+// Adversary: the scanner (victim) runs one step per `period` steps.
+class StarvePolicy final : public sched::SchedulePolicy {
+ public:
+  StarvePolicy(int victim, int period) : victim_(victim), period_(period) {}
+  int pick(const std::vector<int>& runnable) override {
+    ++step_;
+    if (step_ % static_cast<std::uint64_t>(period_) != 0) {
+      for (int id : runnable) {
+        if (id != victim_) return id;
+      }
+    }
+    for (int id : runnable) {
+      if (id == victim_) return id;
+    }
+    return runnable.front();
+  }
+
+ private:
+  const int victim_;
+  const int period_;
+  std::uint64_t step_ = 0;
+};
+
+template <typename Snap>
+std::uint64_t adversary_scan_ops(Snap& snap, int writer_iters, int period) {
+  StarvePolicy policy(/*victim=*/1, period);
+  sched::SimScheduler sim(policy);
+  std::uint64_t ops = 0;
+  sim.spawn([&] {
+    for (std::uint64_t i = 1; i <= static_cast<std::uint64_t>(writer_iters);
+         ++i) {
+      snap.update(0, i);
+      snap.update(1, i);
+    }
+  });
+  sim.spawn([&] {
+    OpWindow win;
+    std::vector<core::Item<std::uint64_t>> out;
+    snap.scan_items(0, out);
+    ops = win.delta().total();
+  });
+  sim.run();
+  return ops;
+}
+
+void part1() {
+  std::printf("-- Part 1: deterministic adversary (C=2, scanner rationed "
+              "to 1 step per P writer steps) --\n");
+  std::printf("%6s %18s %18s %14s %14s\n", "P", "double-collect ops",
+              "(unbounded!)", "helping ops", "anderson ops");
+  for (int period : {2, 4, 8, 16, 32}) {
+    baselines::DoubleCollectSnapshot<std::uint64_t> dc(2, 1, 0);
+    const std::uint64_t dc_ops = adversary_scan_ops(dc, 2000, period);
+    baselines::UnboundedHelpingSnapshot<std::uint64_t> uh(2, 1, 0);
+    const std::uint64_t uh_ops = adversary_scan_ops(uh, 2000, period);
+    core::CompositeRegister<std::uint64_t> an(2, 1, 0);
+    const std::uint64_t an_ops = adversary_scan_ops(an, 2000, period);
+    std::printf("%6d %18" PRIu64 " %18s %14" PRIu64 " %14" PRIu64 "\n",
+                period, dc_ops,
+                dc_ops > 100 ? "grows with P" : "", uh_ops, an_ops);
+  }
+  std::printf("(anderson = TR(2,1) = %" PRIu64 " exactly, every time)\n\n",
+              core::CompositeRegister<std::uint64_t>::read_cost(2, 1));
+}
+
+void part2() {
+  std::printf("-- Part 2: native threads, 1 scanner vs W writers "
+              "(C = W, 300 ms per cell) --\n");
+  std::printf("%4s %22s %22s %22s\n", "W", "double-collect max",
+              "seqlock max attempts", "afek scans (bounded)");
+  for (int w : {1, 2, 4, 8}) {
+    const int c = w;
+    baselines::DoubleCollectSnapshot<std::uint64_t> dc(c, 1, 0);
+    baselines::SeqlockSnapshot<std::uint64_t> sq(c, 1, 0);
+    baselines::AfekSnapshot<std::uint64_t> af(c, 1, 0);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int k = 0; k < w; ++k) {
+      writers.emplace_back([&, k] {
+        std::uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          dc.update(k, ++i);
+          sq.update(k, i);
+          af.update(k, i);
+        }
+      });
+    }
+    std::vector<core::Item<std::uint64_t>> out;
+    std::uint64_t afek_scans = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+    while (std::chrono::steady_clock::now() < deadline) {
+      dc.scan_items(0, out);
+      sq.scan_items(0, out);
+      af.scan_items(0, out);  // CHECKs its own round bound internally
+      ++afek_scans;
+    }
+    stop.store(true);
+    for (auto& t : writers) t.join();
+    std::printf("%4d %22" PRIu64 " %22" PRIu64 " %22" PRIu64 "\n", w,
+                dc.stats(0).max_collects, sq.stats(0).max_attempts,
+                afek_scans);
+  }
+  std::printf("(afek column counts completed scans: every one stayed "
+              "within its C+1 round bound or the run would have "
+              "aborted)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: wait-freedom under writer pressure\n\n");
+  part1();
+  part2();
+  return 0;
+}

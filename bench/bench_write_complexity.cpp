@@ -1,0 +1,66 @@
+// E2 — Write time complexity (paper Section 4.1).
+//
+// Claim: TW(C,B,1,R) = R + 2 + TR(C-1,B,1,R+1) = O(R + 2^C) for a
+// 0-Write; a k-Write enters the recursion k levels deep and therefore
+// costs TW(C-k, R+k). We measure live updates per (C, R, k).
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/composite_register.h"
+#include "util/op_counter.h"
+
+namespace {
+
+using compreg::OpWindow;
+using Reg = compreg::core::CompositeRegister<std::uint64_t>;
+
+std::uint64_t measure_update_ops(int c, int r, int k) {
+  Reg reg(c, r, 0);
+  std::uint64_t ops = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    OpWindow win;
+    reg.update(k, static_cast<std::uint64_t>(rep));
+    ops = win.delta().total();
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: Write operation cost (MRSW register ops per Write)\n");
+  std::printf("paper: TW(C,R) = R + 2 + TR(C-1,R+1) for a 0-Write; a "
+              "k-Write costs TW(C-k, R+k)\n\n");
+
+  std::printf("-- 0-Writes: R dependence (linear) and C dependence "
+              "(exponential) --\n");
+  std::printf("%3s %3s %12s %12s %8s\n", "C", "R", "paper TW", "measured",
+              "match");
+  bool all_match = true;
+  for (int c = 1; c <= 9; ++c) {
+    for (int r : {1, 2, 4, 8}) {
+      const std::uint64_t formula = Reg::write_cost(c, r, 0);
+      const std::uint64_t measured = measure_update_ops(c, r, 0);
+      const bool match = formula == measured;
+      all_match &= match;
+      std::printf("%3d %3d %12" PRIu64 " %12" PRIu64 " %8s\n", c, r, formula,
+                  measured, match ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\n-- k-Writes at C=8, R=2: deeper components are "
+              "exponentially cheaper --\n");
+  std::printf("%3s %12s %12s %8s\n", "k", "paper TW_k", "measured", "match");
+  for (int k = 0; k < 8; ++k) {
+    const std::uint64_t formula = Reg::write_cost(8, 2, k);
+    const std::uint64_t measured = measure_update_ops(8, 2, k);
+    const bool match = formula == measured;
+    all_match &= match;
+    std::printf("%3d %12" PRIu64 " %12" PRIu64 " %8s\n", k, formula, measured,
+                match ? "yes" : "NO");
+  }
+
+  std::printf("\nE2 verdict: measured counts %s the paper's recurrence.\n",
+              all_match ? "exactly match" : "DIVERGE FROM");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Annotated replay of the paper's Figure 4(a): watch the reader adopt
+// an overlapping writer's embedded snapshot, step by step.
+//
+// This example exists to make the construction's central trick
+// tangible: when a Read is overlapped by "too many" Writes, it does not
+// retry (that would forfeit wait-freedom) — it RETURNS THE SNAPSHOT ONE
+// OF THOSE WRITES TOOK FOR IT. The deterministic scheduler lets us
+// script the exact interleaving from the paper and narrate every step.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/composite_register.h"
+#include "sched/policy.h"
+#include "sched/sim_scheduler.h"
+
+int main() {
+  using Reg = compreg::core::CompositeRegister<std::uint64_t>;
+
+  // C=2 components, 1 reader. Process 0 = the reader, 1 = Writer 0,
+  // 2 = Writer 1 (owner of component 1).
+  const char* narration[] = {
+      /*step 1*/ "reader stmt 0: reads Y[0] (x)",
+      /*2*/ "reader stmt 2: writes its new sequence number to Z[0]",
+      /*3*/ "reader stmt 3: reads Y[0] (a) — collect window opens",
+      /*4*/ "Writer 1 writes 201 to component 1",
+      /*5*/ "Writer 0 [w]  stmt 2: reads Z[0] — sees the reader's newseq",
+      /*6*/ "Writer 0 [w]  stmt 3: first write of Y[0] (wc++)",
+      /*7*/ "Writer 0 [w]  stmt 4: snapshots Y[1..C-1] (sees 201)",
+      /*8*/ "Writer 0 [w]  stmt 7: second write of Y[0] (publishes ss)",
+      /*9*/ "Writer 0 [w+1] stmt 2: reads Z[0]",
+      /*10*/ "Writer 0 [w+1] stmt 3: writes Y[0]",
+      /*11*/ "Writer 0 [w+1] stmt 4: snapshots Y[1..C-1] (still 201)",
+      /*12*/ "Writer 0 [w+1] stmt 7: publishes ss = {102, 201}",
+      /*13*/ "Writer 1 writes 202 to component 1 (too late for the ss)",
+      /*14*/ "Writer 0 [w+2] stmt 2: reads Z[0]",
+      /*15*/ "Writer 0 [w+2] stmt 3: writes Y[0] — carries w+1's ss and "
+             "seq[1]=newseq",
+      /*16*/ "reader stmt 4: inner snapshot (b) — would see 202!",
+      /*17*/ "reader stmt 5: reads Y[0] (c)",
+      /*18*/ "reader stmt 6: inner snapshot (d)",
+      /*19*/ "reader stmt 7: reads Y[0] (e): e.seq[1,0] == newseq  =>  "
+             "statement 8 adopts e.ss",
+      /*20*/ "Writer 0 [w+2] stmt 4: snapshots (after the read returned)",
+      /*21*/ "Writer 0 [w+2] stmt 7: publishes",
+  };
+  const std::vector<int> script = {0, 0, 0, 2, 1, 1, 1, 1, 1, 1, 1,
+                                   1, 2, 1, 1, 0, 0, 0, 0, 1, 1};
+
+  compreg::sched::ScriptPolicy policy(script);
+  compreg::sched::SimScheduler sim(policy);
+  auto reg = std::make_shared<Reg>(2, 1, 0);
+  std::vector<compreg::core::Item<std::uint64_t>> result;
+
+  sim.spawn([reg, &result] { reg->scan_items(0, result); });
+  sim.spawn([reg] {
+    for (std::uint64_t i = 1; i <= 3; ++i) reg->update(0, 100 + i);
+  });
+  sim.spawn([reg] {
+    for (std::uint64_t i = 1; i <= 2; ++i) reg->update(1, 200 + i);
+  });
+  std::printf("replaying Figure 4(a) — every line is one atomic shared-"
+              "register access:\n\n");
+  sim.run();
+  for (std::size_t i = 0; i < sim.trace().size(); ++i) {
+    std::printf("  step %2zu (proc %d): %s\n", i + 1, sim.trace()[i],
+                i < std::size(narration) ? narration[i] : "");
+  }
+
+  std::printf("\nreader returned: component0 = %llu (write #%llu), "
+              "component1 = %llu (write #%llu)\n",
+              static_cast<unsigned long long>(result[0].val),
+              static_cast<unsigned long long>(result[0].id),
+              static_cast<unsigned long long>(result[1].val),
+              static_cast<unsigned long long>(result[1].id));
+  std::printf("\nThat is w+1's embedded snapshot {102, 201}: the reader "
+              "ignored its own (torn) collects — which had already seen "
+              "202 — and adopted the snapshot the overlapping write took "
+              "entirely inside the reader's interval. Linearizable, in "
+              "constant steps, without retrying.\n");
+  return (result[0].val == 102 && result[1].val == 201) ? 0 : 1;
+}

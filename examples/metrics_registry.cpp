@@ -1,0 +1,111 @@
+// Metrics registry: consistent point-in-time scrapes of process-wide
+// metrics, with zero coordination cost on the hot path.
+//
+// Real metric systems face exactly the snapshot problem: worker threads
+// bump counters continuously, and the scraper must export a consistent
+// cut — "requests_total >= responses_total" style cross-metric
+// invariants break embarrassingly if the exporter reads metric A before
+// and metric B after a burst. Locks on the hot path are unacceptable;
+// unsynchronized sharded reads give inconsistent cuts. A composite
+// register gives both: wait-free O(1) hot-path updates and exact atomic
+// scrapes of ALL metrics at one instant.
+//
+// Layout: one component per worker holding that worker's packed metric
+// pair (requests in the high half, responses in the low half). A scrape
+// is ONE snapshot, so cross-metric AND cross-worker consistency are
+// exact: requests - responses is precisely the number of in-flight
+// requests at a real instant, bounded by the worker count.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/composite_register.h"
+
+namespace {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry(int workers, int scrapers)
+      : reg_(workers, scrapers, 0),
+        local_(static_cast<std::size_t>(workers), 0) {}
+
+  // Hot path (worker w): one wait-free component write.
+  void on_request(int worker) {
+    local_[static_cast<std::size_t>(worker)] += (1ull << 32);
+    reg_.update(worker, local_[static_cast<std::size_t>(worker)]);
+  }
+  void on_response(int worker) {
+    local_[static_cast<std::size_t>(worker)] += 1;
+    reg_.update(worker, local_[static_cast<std::size_t>(worker)]);
+  }
+
+  struct Scrape {
+    std::int64_t requests = 0;
+    std::int64_t responses = 0;
+  };
+
+  // Export path: one atomic snapshot covering every worker and both
+  // metrics.
+  Scrape scrape(int scraper) {
+    std::vector<std::uint64_t> cut;
+    reg_.scan(scraper, cut);
+    Scrape s;
+    for (std::uint64_t packed : cut) {
+      s.requests += static_cast<std::int64_t>(packed >> 32);
+      s.responses += static_cast<std::int64_t>(packed & 0xffffffffu);
+    }
+    return s;
+  }
+
+ private:
+  compreg::core::CompositeRegister<std::uint64_t> reg_;
+  std::vector<std::uint64_t> local_;  // local_[w]: worker-private pack
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kWorkers = 4;
+  MetricsRegistry registry(kWorkers, /*scrapers=*/1);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        registry.on_request(w);
+        // ... handle ...
+        registry.on_response(w);
+      }
+    });
+  }
+
+  std::int64_t worst_in_flight = 0;
+  std::int64_t bad_scrapes = 0;
+  for (int scrape = 0; scrape < 20000; ++scrape) {
+    const MetricsRegistry::Scrape s = registry.scrape(0);
+    const std::int64_t in_flight = s.requests - s.responses;
+    // Exact invariants of a true instant: responses never exceed
+    // requests, and each worker has at most one request in flight.
+    if (in_flight < 0 || in_flight > kWorkers) ++bad_scrapes;
+    if (in_flight > worst_in_flight) worst_in_flight = in_flight;
+    if (scrape % 5000 == 0) {
+      std::printf("scrape %5d: requests=%lld responses=%lld in_flight=%lld\n",
+                  scrape, static_cast<long long>(s.requests),
+                  static_cast<long long>(s.responses),
+                  static_cast<long long>(in_flight));
+    }
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+
+  std::printf("\n%lld inconsistent scrapes (must be 0); max in-flight "
+              "observed %lld (hard bound %d)\n",
+              static_cast<long long>(bad_scrapes),
+              static_cast<long long>(worst_in_flight), kWorkers);
+  std::printf("hot-path cost: one wait-free component write per event — "
+              "no locks, no CAS retries; scrapers can never delay "
+              "workers.\n");
+  return bad_scrapes == 0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Quickstart: a composite register in five minutes.
+//
+// A composite register is an array-like shared object: writers each own
+// one component and overwrite only it; any reader obtains the value of
+// EVERY component in one atomic snapshot — no locks, no retries, and no
+// operation can be blocked or starved by any other (wait-freedom).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/composite_register.h"
+
+int main() {
+  // A composite register with 3 components of uint64_t, 2 reader slots,
+  // every component initially 0. Component k may be written by one
+  // thread at a time; each reader slot may be used by one thread at a
+  // time.
+  compreg::core::CompositeRegister<std::uint64_t> reg(/*components=*/3,
+                                                      /*num_readers=*/2,
+                                                      /*initial=*/0);
+
+  // Three writers, each updating its own component concurrently.
+  std::vector<std::thread> writers;
+  for (int k = 0; k < 3; ++k) {
+    writers.emplace_back([&reg, k] {
+      for (std::uint64_t i = 1; i <= 100000; ++i) {
+        reg.update(k, i);  // overwrite component k only
+      }
+    });
+  }
+
+  // A reader snapshotting all components while the writers run. The
+  // key guarantee: every snapshot is a state the register actually
+  // passed through — across scans, the per-component values can only
+  // move forward, and no scan can mix "component 0 after write 50"
+  // with "component 1 before a write that component 0's write 50 could
+  // already observe".
+  std::thread reader([&reg] {
+    std::vector<std::uint64_t> prev(3, 0);
+    for (int n = 0; n < 20000; ++n) {
+      const std::vector<std::uint64_t> snap = reg.scan(/*reader_id=*/0);
+      for (int k = 0; k < 3; ++k) {
+        if (snap[static_cast<std::size_t>(k)] <
+            prev[static_cast<std::size_t>(k)]) {
+          std::printf("IMPOSSIBLE: component %d went backwards!\n", k);
+          return;
+        }
+      }
+      prev = snap;
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  reader.join();
+
+  // A final quiescent snapshot sees every writer's last value.
+  const std::vector<std::uint64_t> fin = reg.scan(1);
+  std::printf("final snapshot: [%llu, %llu, %llu]\n",
+              static_cast<unsigned long long>(fin[0]),
+              static_cast<unsigned long long>(fin[1]),
+              static_cast<unsigned long long>(fin[2]));
+  std::printf("every intermediate snapshot was atomic and monotone; no "
+              "locks were involved.\n");
+  return 0;
+}

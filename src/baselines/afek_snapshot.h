@@ -1,0 +1,188 @@
+// AfekSnapshot: the *bounded* single-writer atomic snapshot of Afek,
+// Attiya, Dolev, Gafni, Merritt & Shavit [1] — the competing
+// construction the paper's introduction compares against ("their
+// solution is polynomial in both space and time", Section 5).
+//
+// Movement detection uses bounded state only: one handshake-bit pair
+// per (scanner, updater) — q written by the scanner, p (stored inside
+// the updater's register) written by the updater as the negation of q —
+// plus a mod-2 toggle that catches the one update per scan that can
+// slip past the handshake. A scanner that sees the same updater move in
+// two different rounds borrows that updater's embedded view. Scans take
+// at most C+1 double collects: wait-free with polynomial cost, in
+// contrast to the Anderson construction's O(2^C) recursion
+// (bench_throughput measures the crossover).
+//
+// Scanner identities: readers use slots 0..R-1; updater k's embedded
+// scan uses slot R+k. The id fields remain auxiliary (never branched
+// on), preserving the algorithm's boundedness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "registers/hazard_cell.h"
+#include "registers/word_register.h"
+#include "util/assert.h"
+
+namespace compreg::baselines {
+
+template <typename V>
+class AfekSnapshot final : public core::Snapshot<V> {
+ public:
+  AfekSnapshot(int components, int num_readers, const V& initial)
+      : c_(components), r_(num_readers), scanners_(num_readers + components) {
+    COMPREG_CHECK(components >= 1);
+    COMPREG_CHECK(num_readers >= 1);
+    Reg init;
+    init.item = core::Item<V>{initial, 0};
+    init.p.assign(static_cast<std::size_t>(scanners_), 0);
+    init.toggle = 0;
+    init.view.assign(static_cast<std::size_t>(c_), core::Item<V>{initial, 0});
+    regs_.reserve(static_cast<std::size_t>(c_));
+    for (int k = 0; k < c_; ++k) {
+      regs_.push_back(std::make_unique<registers::HazardCell<Reg>>(
+          scanners_, init, "r_k"));
+    }
+    // q[s][k]: handshake bit, written by scanner s, read by updater k.
+    q_.resize(static_cast<std::size_t>(scanners_) *
+              static_cast<std::size_t>(c_));
+    for (auto& reg : q_) {
+      reg = std::make_unique<registers::WordRegister<std::uint8_t>>(
+          std::uint8_t{0}, "q", /*payload_bits=*/1, /*readers=*/1);
+    }
+    seq_storage_.resize(static_cast<std::size_t>(c_));
+  }
+
+  int components() const override { return c_; }
+  int readers() const override { return r_; }
+
+  std::uint64_t update(int component, const V& value) override {
+    const std::size_t k = static_cast<std::size_t>(component);
+    Reg rec;
+    // Read every scanner's handshake bit; our register write will
+    // publish p = !q for each, signalling "moved".
+    rec.p.resize(static_cast<std::size_t>(scanners_));
+    for (int s = 0; s < scanners_; ++s) {
+      rec.p[static_cast<std::size_t>(s)] =
+          static_cast<std::uint8_t>(1 - q(s, component).read());
+    }
+    // Embedded scan (updater k owns scanner slot r_ + k).
+    scan_impl(r_ + component, rec.view);
+    rec.toggle = static_cast<std::uint8_t>(1 - toggle(k));
+    toggle(k) = rec.toggle;
+    rec.item = core::Item<V>{value, ++seq(k)};
+    regs_[k]->write(rec);  // value, view, handshake row and toggle: one write
+    return rec.item.id;
+  }
+
+  void scan_items(int reader_id, std::vector<core::Item<V>>& out) override {
+    COMPREG_DCHECK(reader_id >= 0 && reader_id < r_);
+    scan_impl(reader_id, out);
+  }
+
+  using core::Snapshot<V>::scan;
+  using core::Snapshot<V>::scan_items;
+
+  // Wait-free bound asserted inside every scan: at most C+1 double
+  // collects (each unsuccessful round marks a new mover or returns).
+  static std::uint64_t max_double_collects(int components) {
+    return static_cast<std::uint64_t>(components) + 1;
+  }
+
+ private:
+  struct Reg {
+    core::Item<V> item;
+    std::vector<std::uint8_t> p;      // handshake bits, one per scanner
+    std::uint8_t toggle = 0;          // mod-2, flips every update
+    std::vector<core::Item<V>> view;  // embedded scan
+  };
+
+  registers::WordRegister<std::uint8_t>& q(int scanner, int component) {
+    return *q_[static_cast<std::size_t>(scanner) *
+                   static_cast<std::size_t>(c_) +
+               static_cast<std::size_t>(component)];
+  }
+
+  std::uint64_t& seq(std::size_t k) { return seq_storage_[k].seq; }
+  std::uint8_t& toggle(std::size_t k) { return seq_storage_[k].toggle; }
+
+  void scan_impl(int slot, std::vector<core::Item<V>>& out) {
+    const std::size_t su = static_cast<std::size_t>(slot);
+    std::vector<std::uint8_t> myq(static_cast<std::size_t>(c_));
+    std::vector<std::uint8_t> moved(static_cast<std::size_t>(c_), 0);
+    std::vector<Reg> a(static_cast<std::size_t>(c_));
+    std::vector<Reg> b(static_cast<std::size_t>(c_));
+    std::uint64_t rounds = 0;
+    for (;;) {
+      // Handshake, refreshed every round: set q[slot][k] equal to the
+      // updater's current p bit, so a later detection certifies a write
+      // performed after *this* round began. (Refreshing per round is
+      // what makes two detections of k imply two distinct updates of k,
+      // the second of which ran entirely within this scan — the
+      // precondition for borrowing its embedded view.)
+      for (int k = 0; k < c_; ++k) {
+        const Reg rk = regs_[static_cast<std::size_t>(k)]->read(slot);
+        myq[static_cast<std::size_t>(k)] = rk.p[su];
+        q(slot, k).write(rk.p[su]);
+      }
+      collect(slot, a);
+      collect(slot, b);
+      ++rounds;
+      COMPREG_CHECK(rounds <= max_double_collects(c_),
+                    "bounded snapshot exceeded its wait-free round bound");
+      bool clean = true;
+      for (int k = 0; k < c_ && clean; ++k) {
+        const std::size_t ku = static_cast<std::size_t>(k);
+        // Moved since this round's handshake: either an update wrote
+        // p := !q after we equalized (p mismatch), or exactly one
+        // stale-handshake update slipped through — caught by the
+        // mod-2 toggle flipping between the two collects.
+        const bool k_moved = a[ku].p[su] != myq[ku] ||
+                             b[ku].p[su] != myq[ku] ||
+                             a[ku].toggle != b[ku].toggle;
+        if (!k_moved) continue;
+        clean = false;
+        if (moved[ku] != 0) {
+          // Second detected move of updater k: the update observed now
+          // started after the previously detected one finished, i.e.
+          // it ran entirely within this scan; borrow its embedded view.
+          out = b[ku].view;
+          return;
+        }
+        moved[ku] = 1;
+      }
+      if (clean) {
+        out.resize(static_cast<std::size_t>(c_));
+        for (int k = 0; k < c_; ++k) {
+          out[static_cast<std::size_t>(k)] =
+              b[static_cast<std::size_t>(k)].item;
+        }
+        return;
+      }
+    }
+  }
+
+  void collect(int slot, std::vector<Reg>& out) {
+    for (int k = 0; k < c_; ++k) {
+      out[static_cast<std::size_t>(k)] =
+          regs_[static_cast<std::size_t>(k)]->read(slot);
+    }
+  }
+
+  struct alignas(64) UpdaterState {
+    std::uint64_t seq = 0;
+    std::uint8_t toggle = 0;
+  };
+
+  const int c_;
+  const int r_;
+  const int scanners_;
+  std::vector<std::unique_ptr<registers::HazardCell<Reg>>> regs_;
+  std::vector<std::unique_ptr<registers::WordRegister<std::uint8_t>>> q_;
+  std::vector<UpdaterState> seq_storage_;  // updater-private
+};
+
+}  // namespace compreg::baselines

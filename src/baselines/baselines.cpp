@@ -1,0 +1,16 @@
+// Compilation anchor: instantiates every baseline once.
+#include "baselines/afek_snapshot.h"
+#include "baselines/double_collect.h"
+#include "baselines/mutex_snapshot.h"
+#include "baselines/seqlock_snapshot.h"
+#include "baselines/unbounded_helping.h"
+
+namespace compreg::baselines {
+
+template class DoubleCollectSnapshot<std::uint64_t>;
+template class UnboundedHelpingSnapshot<std::uint64_t>;
+template class AfekSnapshot<std::uint64_t>;
+template class MutexSnapshot<std::uint64_t>;
+template class SeqlockSnapshot<std::uint64_t>;
+
+}  // namespace compreg::baselines

@@ -1,0 +1,111 @@
+// DoubleCollectSnapshot: the folklore lock-free (NOT wait-free)
+// snapshot — repeat collecting all components until two consecutive
+// collects agree.
+//
+// This is the natural first attempt the paper's construction improves
+// on: a scan is correct when it returns (two identical collects pin a
+// moment where all values coexisted), but a single writer updating
+// continuously starves scanners forever. The Wait-Freedom restriction
+// of Section 2 rules this out; bench_waitfreedom demonstrates the
+// unbounded retries empirically and tests/baselines asserts starvation
+// under an adversarial schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "registers/hazard_cell.h"
+#include "util/assert.h"
+
+namespace compreg::baselines {
+
+template <typename V>
+class DoubleCollectSnapshot final : public core::Snapshot<V> {
+ public:
+  DoubleCollectSnapshot(int components, int num_readers, const V& initial)
+      : c_(components), r_(num_readers) {
+    COMPREG_CHECK(components >= 1);
+    COMPREG_CHECK(num_readers >= 1);
+    regs_.reserve(static_cast<std::size_t>(c_));
+    for (int k = 0; k < c_; ++k) {
+      regs_.push_back(std::make_unique<registers::HazardCell<core::Item<V>>>(
+          r_, core::Item<V>{initial, 0}, "r_k"));
+    }
+    seq_.assign(static_cast<std::size_t>(c_), 0);
+    stats_ = std::make_unique<SlotStats[]>(static_cast<std::size_t>(r_));
+  }
+
+  int components() const override { return c_; }
+  int readers() const override { return r_; }
+
+  std::uint64_t update(int component, const V& value) override {
+    const std::size_t k = static_cast<std::size_t>(component);
+    const std::uint64_t id = ++seq_[k];
+    regs_[k]->write(core::Item<V>{value, id});
+    return id;
+  }
+
+  void scan_items(int reader_id, std::vector<core::Item<V>>& out) override {
+    std::vector<core::Item<V>> prev(static_cast<std::size_t>(c_));
+    out.resize(static_cast<std::size_t>(c_));
+    collect(reader_id, prev);
+    std::uint64_t collects = 1;
+    for (;;) {
+      collect(reader_id, out);
+      ++collects;
+      bool same = true;
+      for (int k = 0; k < c_; ++k) {
+        if (out[static_cast<std::size_t>(k)].id !=
+            prev[static_cast<std::size_t>(k)].id) {
+          same = false;
+          break;
+        }
+      }
+      if (same) break;
+      std::swap(prev, out);
+    }
+    SlotStats& st = stats_[static_cast<std::size_t>(reader_id)];
+    st.total_collects += collects;
+    if (collects > st.max_collects) st.max_collects = collects;
+    ++st.scans;
+  }
+
+  using core::Snapshot<V>::scan;
+  using core::Snapshot<V>::scan_items;
+
+  // Retry accounting for the wait-freedom experiments (per reader slot;
+  // slots are single-threaded by contract).
+  struct ScanStats {
+    std::uint64_t scans = 0;
+    std::uint64_t total_collects = 0;
+    std::uint64_t max_collects = 0;
+  };
+  ScanStats stats(int reader_id) const {
+    const SlotStats& st = stats_[static_cast<std::size_t>(reader_id)];
+    return ScanStats{st.scans, st.total_collects, st.max_collects};
+  }
+
+ private:
+  struct alignas(64) SlotStats {
+    std::uint64_t scans = 0;
+    std::uint64_t total_collects = 0;
+    std::uint64_t max_collects = 0;
+  };
+
+  void collect(int reader_id, std::vector<core::Item<V>>& out) {
+    for (int k = 0; k < c_; ++k) {
+      out[static_cast<std::size_t>(k)] =
+          regs_[static_cast<std::size_t>(k)]->read(reader_id);
+    }
+  }
+
+  const int c_;
+  const int r_;
+  std::vector<std::unique_ptr<registers::HazardCell<core::Item<V>>>> regs_;
+  std::vector<std::uint64_t> seq_;  // per-component writer-private id
+  std::unique_ptr<SlotStats[]> stats_;
+};
+
+}  // namespace compreg::baselines

@@ -1,0 +1,56 @@
+// MutexSnapshot: mutual-exclusion baseline.
+//
+// Exactly what the paper's title result shows is unnecessary ("a shared
+// memory that can be read in its entirety in a single snapshot
+// operation, without using mutual exclusion"). Trivially linearizable
+// and fast at low contention, but not wait-free: a writer preempted or
+// halted inside the critical section blocks every other process —
+// tests/baselines demonstrates the blocking, bench_throughput the
+// latency cliff under contention.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "util/assert.h"
+
+namespace compreg::baselines {
+
+template <typename V>
+class MutexSnapshot final : public core::Snapshot<V> {
+ public:
+  MutexSnapshot(int components, int num_readers, const V& initial)
+      : c_(components), r_(num_readers) {
+    COMPREG_CHECK(components >= 1);
+    values_.assign(static_cast<std::size_t>(c_), core::Item<V>{initial, 0});
+  }
+
+  int components() const override { return c_; }
+  int readers() const override { return r_; }
+
+  std::uint64_t update(int component, const V& value) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    core::Item<V>& slot = values_[static_cast<std::size_t>(component)];
+    slot = core::Item<V>{value, slot.id + 1};
+    return slot.id;
+  }
+
+  void scan_items(int /*reader_id*/,
+                  std::vector<core::Item<V>>& out) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = values_;
+  }
+
+  using core::Snapshot<V>::scan;
+  using core::Snapshot<V>::scan_items;
+
+ private:
+  const int c_;
+  const int r_;
+  std::mutex mutex_;
+  std::vector<core::Item<V>> values_;
+};
+
+}  // namespace compreg::baselines

@@ -1,0 +1,115 @@
+// SeqlockSnapshot: optimistic-read baseline.
+//
+// Writers serialize on a spinlock and bump a version counter around
+// their write (odd while a write is in flight); readers re-read the
+// version and retry until they observe a stable, even version. Reads
+// are invisible (no reader writes shared memory — contrast with the
+// paper's Z[j] registers and the handshake bits of [1], both of which
+// exist precisely because invisible readers cannot be wait-free).
+// Readers starve under continuous writes, which bench_waitfreedom
+// measures.
+//
+// Payloads are stored in std::atomic slots so torn reads are excluded
+// by construction rather than by the usual seqlock benign-race hand
+// waving; V must be trivially copyable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "util/assert.h"
+
+namespace compreg::baselines {
+
+template <typename V>
+class SeqlockSnapshot final : public core::Snapshot<V> {
+  static_assert(std::is_trivially_copyable_v<V>);
+
+ public:
+  SeqlockSnapshot(int components, int num_readers, const V& initial)
+      : c_(components), r_(num_readers),
+        slots_(std::make_unique<Slot[]>(static_cast<std::size_t>(components))) {
+    COMPREG_CHECK(components >= 1);
+    COMPREG_CHECK(num_readers >= 1);
+    for (int k = 0; k < c_; ++k) {
+      slots_[static_cast<std::size_t>(k)].value.store(
+          initial, std::memory_order_relaxed);
+    }
+    stats_ = std::make_unique<SlotStats[]>(static_cast<std::size_t>(r_));
+  }
+
+  int components() const override { return c_; }
+  int readers() const override { return r_; }
+
+  std::uint64_t update(int component, const V& value) override {
+    const std::size_t k = static_cast<std::size_t>(component);
+    while (writer_lock_.test_and_set(std::memory_order_acquire)) {
+      // spin: writers serialize (not wait-free; that is the point)
+    }
+    version_.fetch_add(1, std::memory_order_seq_cst);  // now odd
+    const std::uint64_t id = slots_[k].id.load(std::memory_order_relaxed) + 1;
+    slots_[k].value.store(value, std::memory_order_seq_cst);
+    slots_[k].id.store(id, std::memory_order_seq_cst);
+    version_.fetch_add(1, std::memory_order_seq_cst);  // even again
+    writer_lock_.clear(std::memory_order_release);
+    return id;
+  }
+
+  void scan_items(int reader_id, std::vector<core::Item<V>>& out) override {
+    out.resize(static_cast<std::size_t>(c_));
+    std::uint64_t attempts = 0;
+    for (;;) {
+      ++attempts;
+      const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
+      if (v1 % 2 != 0) continue;  // write in flight
+      for (int k = 0; k < c_; ++k) {
+        const std::size_t ku = static_cast<std::size_t>(k);
+        out[ku].val = slots_[ku].value.load(std::memory_order_seq_cst);
+        out[ku].id = slots_[ku].id.load(std::memory_order_seq_cst);
+      }
+      const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
+      if (v1 == v2) break;
+    }
+    SlotStats& st = stats_[static_cast<std::size_t>(reader_id)];
+    st.scans++;
+    st.total_attempts += attempts;
+    if (attempts > st.max_attempts) st.max_attempts = attempts;
+  }
+
+  using core::Snapshot<V>::scan;
+  using core::Snapshot<V>::scan_items;
+
+  struct ScanStats {
+    std::uint64_t scans = 0;
+    std::uint64_t total_attempts = 0;
+    std::uint64_t max_attempts = 0;
+  };
+  ScanStats stats(int reader_id) const {
+    const SlotStats& st = stats_[static_cast<std::size_t>(reader_id)];
+    return ScanStats{st.scans, st.total_attempts, st.max_attempts};
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<V> value{};
+    std::atomic<std::uint64_t> id{0};
+  };
+  struct alignas(64) SlotStats {
+    std::uint64_t scans = 0;
+    std::uint64_t total_attempts = 0;
+    std::uint64_t max_attempts = 0;
+  };
+
+  const int c_;
+  const int r_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic_flag writer_lock_ = ATOMIC_FLAG_INIT;
+  std::unique_ptr<Slot[]> slots_;
+  std::unique_ptr<SlotStats[]> stats_;
+};
+
+}  // namespace compreg::baselines

@@ -1,0 +1,136 @@
+// UnboundedHelpingSnapshot: wait-free snapshot via double collect plus
+// embedded-view helping with unbounded sequence numbers — the
+// "unbounded" algorithm of Afek, Attiya, Dolev, Gafni, Merritt &
+// Shavit [1] (the independent competing construction cited in the
+// paper's introduction).
+//
+// Every update embeds a full scan ("view") in its register; a scanner
+// that observes some updater advance *twice* from the scan's first
+// collect knows that updater performed a complete update inside the
+// scan's interval and may borrow its embedded view. Scans therefore
+// finish in O(C) collects — wait-free — at the cost of 64-bit sequence
+// numbers (the bounded variant, AfekSnapshot, removes those with
+// handshake bits).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "registers/hazard_cell.h"
+#include "util/assert.h"
+
+namespace compreg::baselines {
+
+template <typename V>
+class UnboundedHelpingSnapshot final : public core::Snapshot<V> {
+ public:
+  UnboundedHelpingSnapshot(int components, int num_readers, const V& initial)
+      : c_(components), r_(num_readers), scanners_(num_readers + components) {
+    COMPREG_CHECK(components >= 1);
+    COMPREG_CHECK(num_readers >= 1);
+    seq_storage_.resize(static_cast<std::size_t>(c_));
+    Reg init;
+    init.item = core::Item<V>{initial, 0};
+    init.view.assign(static_cast<std::size_t>(c_),
+                     core::Item<V>{initial, 0});
+    regs_.reserve(static_cast<std::size_t>(c_));
+    for (int k = 0; k < c_; ++k) {
+      regs_.push_back(std::make_unique<registers::HazardCell<Reg>>(
+          scanners_, init, "r_k"));
+    }
+  }
+
+  int components() const override { return c_; }
+  int readers() const override { return r_; }
+
+  std::uint64_t update(int component, const V& value) override {
+    const std::size_t k = static_cast<std::size_t>(component);
+    Reg rec;
+    // Embedded scan: updater k owns scanner slot r_ + k.
+    scan_impl(r_ + component, rec.view);
+    rec.item = core::Item<V>{value, ++seq(k)};
+    regs_[k]->write(rec);
+    return rec.item.id;
+  }
+
+  void scan_items(int reader_id, std::vector<core::Item<V>>& out) override {
+    COMPREG_DCHECK(reader_id >= 0 && reader_id < r_);
+    scan_impl(reader_id, out);
+  }
+
+  using core::Snapshot<V>::scan;
+  using core::Snapshot<V>::scan_items;
+
+  // Worst-case collects per scan is bounded: each non-agreeing round
+  // advances some component's id, and any id advancing twice past the
+  // first collect ends the scan; tests assert the 2*C+2 ceiling.
+  static std::uint64_t max_collects(int components) {
+    return 2 * static_cast<std::uint64_t>(components) + 2;
+  }
+
+ private:
+  struct Reg {
+    core::Item<V> item;
+    std::vector<core::Item<V>> view;  // embedded scan of the update
+  };
+
+  std::uint64_t& seq(std::size_t k) { return seq_storage_[k].value; }
+
+  void scan_impl(int slot, std::vector<core::Item<V>>& out) {
+    std::vector<Reg> first(static_cast<std::size_t>(c_));
+    std::vector<Reg> a(static_cast<std::size_t>(c_));
+    std::vector<Reg> b(static_cast<std::size_t>(c_));
+    collect(slot, first);
+    a = first;
+    std::uint64_t rounds = 1;
+    for (;;) {
+      collect(slot, b);
+      ++rounds;
+      COMPREG_CHECK(rounds <= max_collects(c_),
+                    "helping snapshot exceeded its wait-free bound");
+      bool same = true;
+      for (int k = 0; k < c_; ++k) {
+        const std::size_t ku = static_cast<std::size_t>(k);
+        if (a[ku].item.id != b[ku].item.id) {
+          same = false;
+          // Moved twice since our first collect: the update that wrote
+          // b[k] ran entirely within this scan; borrow its view.
+          if (b[ku].item.id >= first[ku].item.id + 2) {
+            out = b[ku].view;
+            return;
+          }
+        }
+      }
+      if (same) {
+        out.resize(static_cast<std::size_t>(c_));
+        for (int k = 0; k < c_; ++k) {
+          out[static_cast<std::size_t>(k)] =
+              b[static_cast<std::size_t>(k)].item;
+        }
+        return;
+      }
+      std::swap(a, b);
+    }
+  }
+
+  void collect(int slot, std::vector<Reg>& out) {
+    for (int k = 0; k < c_; ++k) {
+      out[static_cast<std::size_t>(k)] =
+          regs_[static_cast<std::size_t>(k)]->read(slot);
+    }
+  }
+
+  struct alignas(64) PaddedSeq {
+    std::uint64_t value = 0;
+  };
+
+  const int c_;
+  const int r_;
+  const int scanners_;
+  std::vector<std::unique_ptr<registers::HazardCell<Reg>>> regs_;
+  std::vector<PaddedSeq> seq_storage_;  // per-component writer-private ids
+};
+
+}  // namespace compreg::baselines

@@ -1,0 +1,345 @@
+// CompositeRegister: the paper's C/B/1/R construction (Figure 3).
+//
+// A single-writer composite register with C components and R readers,
+// built recursively from multi-reader single-writer atomic registers:
+//
+//   Y[0]      one MRSW register written by Writer 0 and read by the R
+//             readers, holding {item, seq[0..1][0..R-1], ss[0..C-1], wc};
+//   Y[1..C-1] a (C-1)-component composite register with R+1 readers
+//             (reader slot R belongs to Writer 0) — the recursion;
+//   Z[0..R-1] mod-3 registers, Z[j] written by reader j and read by
+//             Writer 0.
+//
+// Statement labels in the method bodies match Figure 3 exactly
+// (Reader 0-9, Writer0 0-8, Writer 1-2) so the code can be read
+// side-by-side with the paper's proof. The auxiliary id fields are kept
+// (see item.h) and never influence control flow.
+//
+// Cost (paper Section 4.1, asserted in tests, measured in bench):
+//   TR(C,R) = 5 + 2*TR(C-1,R+1),  TR(1,R) = 1        => O(2^C)
+//   TW(C,R) = R + 2 + TR(C-1,R+1), TW(1,R) = 1       => O(R + 2^C)
+// base-register operations per Read / per 0-Write; a k-Write enters the
+// recursion k levels deep, so TW_k(C,R) = TW(C-k, R+k).
+//
+// The Cell template parameter selects the MRSW register backend for
+// the large Y[0] records: registers::HazardCell (default; lock-free
+// reclamation handshake) or registers::TaggedCell (strictly wait-free).
+// SmallCell selects the backend for the mod-3 Z registers (default:
+// hardware-backed registers::WordCell). theory::TheoryCell can be used
+// for both, which instantiates the construction on the safe-bit
+// register chain — the entire hierarchy of the literature in one stack
+// (simulator-only; see theory/theory_cell.h).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/item.h"
+#include "core/snapshot.h"
+#include "registers/hazard_cell.h"
+#include "registers/register_concepts.h"
+#include "registers/word_register.h"
+#include "util/assert.h"
+
+namespace compreg::core {
+
+template <typename V, template <typename> class Cell = registers::HazardCell,
+          template <typename> class SmallCell = registers::WordCell>
+class CompositeRegister final : public Snapshot<V> {
+  // The paper's Atomicity Restriction, statically: all shared state is
+  // reached through MRSW atomic register operations only.
+  static_assert(registers::MrswCell<SmallCell<std::uint8_t>, std::uint8_t>);
+
+ public:
+  // Performs the paper's assumed Initial Writes: every component starts
+  // holding `initial` with id 0.
+  CompositeRegister(int components, int num_readers, const V& initial)
+      : c_(components), r_(num_readers) {
+    COMPREG_CHECK(components >= 1);
+    COMPREG_CHECK(num_readers >= 1);
+
+    Y0 init;
+    init.item = Item<V>{initial, 0};
+    init.wc = 0;
+    if (c_ > 1) {
+      init.seq.assign(static_cast<std::size_t>(r_), {0, 0});
+      init.ss.assign(static_cast<std::size_t>(c_), Item<V>{initial, 0});
+      z_.reserve(static_cast<std::size_t>(r_));
+      for (int j = 0; j < r_; ++j) {
+        // Z[j]: written by reader j, read by Writer 0 (one reader).
+        z_.push_back(std::make_unique<SmallCell<std::uint8_t>>(
+            /*readers=*/1, std::uint8_t{0}, "Z", /*payload_bits=*/2));
+      }
+      // Y[1..C-1]: the recursion, with reader slot R reserved for
+      // Writer 0's snapshots (Figure 2).
+      inner_ = std::make_unique<CompositeRegister>(c_ - 1, r_ + 1, initial);
+      w0_.item = init.item;
+      w0_.seq = init.seq;
+      w0_.ss = init.ss;
+    }
+    y0_ = std::make_unique<Cell<Y0>>(r_, init, "Y0", y0_bits());
+#ifndef NDEBUG
+    writer0_busy_ = std::make_unique<std::atomic<bool>>(false);
+    reader_busy_ =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(r_));
+    for (int j = 0; j < r_; ++j) reader_busy_[j] = false;
+#endif
+  }
+
+  int components() const override { return c_; }
+  int readers() const override { return r_; }
+
+  // -------------------------------------------------------------------
+  // Write operation. Component 0 runs the Writer0 procedure of
+  // Figure 3; components 1..C-1 recurse (their Writer procedure — bump
+  // id, single write of Y[i] — is realized by the inner register's
+  // Writer0 at depth k).
+  // -------------------------------------------------------------------
+  std::uint64_t update(int component, const V& value) override {
+    COMPREG_DCHECK(component >= 0 && component < c_);
+    if (component > 0) return inner_->update(component - 1, value);
+
+#ifndef NDEBUG
+    COMPREG_CHECK(!writer0_busy_->exchange(true),
+                  "concurrent Writers on one component (W=1 violated)");
+#endif
+    std::uint64_t id;
+    if (c_ == 1) {
+      // Base case: a 1/B/1/R composite register is an atomic register.
+      Y0 rec;
+      rec.item = Item<V>{value, ++w0_.item.id};
+      rec.wc = 0;
+      y0_->write(rec);
+      id = w0_.item.id;
+    } else {
+      id = write0(value);
+    }
+#ifndef NDEBUG
+    writer0_busy_->store(false);
+#endif
+    return id;
+  }
+
+  // -------------------------------------------------------------------
+  // Read operation (Figure 3, Reader procedure).
+  // -------------------------------------------------------------------
+  void scan_items(int reader_id, std::vector<Item<V>>& out) override {
+    COMPREG_DCHECK(reader_id >= 0 && reader_id < r_);
+#ifndef NDEBUG
+    COMPREG_CHECK(!reader_busy_[reader_id].exchange(true),
+                  "concurrent scans on one reader slot");
+#endif
+    if (c_ == 1) {
+      out.resize(1);
+      out[0] = y0_->read(reader_id).item;
+      stats_base_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      read_general(reader_id, out);
+    }
+#ifndef NDEBUG
+    reader_busy_[reader_id].store(false);
+#endif
+  }
+
+  using Snapshot<V>::scan;
+  using Snapshot<V>::scan_items;
+
+  // Statement-8 outcome counters at this recursion level (relaxed
+  // atomics, not part of the register model). `adopted_snapshot` counts
+  // Reads that returned an overlapping 0-Write's embedded snapshot —
+  // the construction's helping mechanism (Figure 4 cases); the other
+  // two count Reads that kept their own first/second collect.
+  struct ScanCaseStats {
+    std::uint64_t adopted_snapshot = 0;  // statement 8, case 1 & 2
+    std::uint64_t first_collect = 0;     // case 3 (a, b)
+    std::uint64_t second_collect = 0;    // case 4 (c, d)
+    std::uint64_t base_reads = 0;        // C == 1 degenerate reads
+  };
+  ScanCaseStats scan_case_stats() const {
+    return ScanCaseStats{
+        stats_adopted_.load(std::memory_order_relaxed),
+        stats_first_.load(std::memory_order_relaxed),
+        stats_second_.load(std::memory_order_relaxed),
+        stats_base_.load(std::memory_order_relaxed)};
+  }
+
+  // Same counters for every recursion level, outermost first (the last
+  // entry is the base case, which only counts degenerate reads). Level
+  // l is visited 2^l times per top-level scan.
+  std::vector<ScanCaseStats> scan_case_stats_by_level() const {
+    std::vector<ScanCaseStats> out;
+    for (const CompositeRegister* level = this; level != nullptr;
+         level = level->inner_.get()) {
+      out.push_back(level->scan_case_stats());
+    }
+    return out;
+  }
+
+  // Exact per-operation base-register costs (paper Section 4.1):
+  //   TR(1,R) = 1,  TR(C,R) = 5 + 2*TR(C-1,R+1)   (R-independent)
+  //   TW(1,R) = 1,  TW(C,R) = R + 2 + TR(C-1,R+1)
+  // and a k-Write costs TW(C-k, R+k) (it enters the recursion k deep).
+  static std::uint64_t read_cost(int components, int /*num_readers*/) {
+    std::uint64_t tr = 1;
+    for (int c = 2; c <= components; ++c) tr = 5 + 2 * tr;
+    return tr;
+  }
+  static std::uint64_t write_cost(int components, int num_readers,
+                                  int component = 0) {
+    const int c = components - component;
+    const std::uint64_t r =
+        static_cast<std::uint64_t>(num_readers + component);
+    if (c <= 1) return 1;
+    return r + 2 + read_cost(c - 1, static_cast<int>(r) + 1);
+  }
+
+ private:
+  // Y[0]'s record type (Figure 2/3). For the base case C == 1 the seq
+  // and ss vectors stay empty and only item/wc are meaningful.
+  struct Y0 {
+    Item<V> item;
+    // seq[j] = {copy 0, copy 1} of reader j's sequence number —
+    // transposed from the paper's seq[0..1][0..R-1] for locality.
+    std::vector<std::array<std::uint8_t, 2>> seq;
+    std::vector<Item<V>> ss;  // Writer 0's snapshot, ss[0..C-1]
+    std::uint8_t wc = 0;      // mod-3 write counter
+  };
+
+  // Writer 0's persistent private variables (Figure 3 declares them
+  // `private var` with an initialization tied to Y[0]'s initial value).
+  struct Writer0State {
+    Item<V> item;  // val written last, id counter
+    std::vector<std::array<std::uint8_t, 2>> seq;
+    std::vector<Item<V>> ss;
+    std::uint8_t wc = 0;
+    std::vector<Item<V>> y;  // statement 4 snapshot buffer
+  };
+
+  // Paper: Y[0] stores val(B) + seq (2 copies x R x 2 bits) + ss (C
+  // values of B bits) + wc (2 bits); ids are auxiliary and not counted.
+  std::uint64_t y0_bits() const {
+    const std::uint64_t b = sizeof(V) * 8;
+    if (c_ == 1) return b;
+    return b + 4 * static_cast<std::uint64_t>(r_) +
+           static_cast<std::uint64_t>(c_) * b + 2;
+  }
+
+  Y0 make_y0() const {
+    Y0 rec;
+    rec.item = w0_.item;
+    rec.seq = w0_.seq;
+    rec.ss = w0_.ss;
+    rec.wc = w0_.wc;
+    return rec;
+  }
+
+  static std::uint8_t mod3_plus(std::uint8_t x, std::uint8_t d) {
+    return static_cast<std::uint8_t>((x + d) % 3);
+  }
+
+  // newseq != s0 && newseq != s1 (possible because newseq ranges 0..2).
+  static std::uint8_t pick_newseq(std::uint8_t s0, std::uint8_t s1) {
+    for (std::uint8_t v = 0;; ++v) {
+      if (v != s0 && v != s1) return v;
+    }
+  }
+
+  std::uint64_t write0(const V& value) {
+    // 0: wc, item.val, item.id := wc (+) 1, val, item.id + 1
+    w0_.wc = mod3_plus(w0_.wc, 1);
+    w0_.item = Item<V>{value, w0_.item.id + 1};
+    // 1, 2.n: read seq[0, n] := Z[n]  (one read per reader)
+    for (int n = 0; n < r_; ++n) {
+      w0_.seq[static_cast<std::size_t>(n)][0] =
+          z_[static_cast<std::size_t>(n)]->read(0);
+    }
+    // 3: write Y[0]; seq[1] and ss still hold the previous operation's
+    //    values, so this write does not alter Y[0].seq[1] or Y[0].ss.
+    y0_->write(make_y0());
+    // 4: read y := Y[1..C-1]  (snapshot of the other Writers)
+    inner_->scan_items(r_, w0_.y);
+    // 5: ss[0], ss[k] := item, y[k]
+    w0_.ss[0] = w0_.item;
+    for (int k = 1; k < c_; ++k) {
+      w0_.ss[static_cast<std::size_t>(k)] =
+          w0_.y[static_cast<std::size_t>(k - 1)];
+    }
+    // 6: seq[1] := seq[0]
+    for (int n = 0; n < r_; ++n) {
+      auto& s = w0_.seq[static_cast<std::size_t>(n)];
+      s[1] = s[0];
+    }
+    // 7: write Y[0]
+    y0_->write(make_y0());
+    // 8: return
+    return w0_.item.id;
+  }
+
+  void read_general(int j, std::vector<Item<V>>& out) {
+    const std::size_t ju = static_cast<std::size_t>(j);
+    // 0: read x := Y[0]
+    const Y0 x = y0_->read(j);
+    // 1: select newseq differing from Writer 0's two copies
+    const std::uint8_t newseq = pick_newseq(x.seq[ju][0], x.seq[ju][1]);
+    // 2: write Z[j] := newseq
+    z_[ju]->write(newseq);
+    // 3: read a := Y[0]
+    const Y0 a = y0_->read(j);
+    // 4: read b := Y[1..C-1]
+    std::vector<Item<V>> b;
+    inner_->scan_items(j, b);
+    // 5: read c := Y[0]
+    const Y0 c = y0_->read(j);
+    // 6: read d := Y[1..C-1]
+    std::vector<Item<V>> d;
+    inner_->scan_items(j, d);
+    // 7: read e := Y[0]
+    const Y0 e = y0_->read(j);
+    // 8: three-way case analysis
+    out.resize(static_cast<std::size_t>(c_));
+    if (e.seq[ju][1] == newseq || e.wc == mod3_plus(a.wc, 2)) {
+      // Overlapped by "too many" 0-Writes: return an overlapping
+      // Write's embedded snapshot.
+      for (int k = 0; k < c_; ++k) {
+        out[static_cast<std::size_t>(k)] = e.ss[static_cast<std::size_t>(k)];
+      }
+      stats_adopted_.fetch_add(1, std::memory_order_relaxed);
+    } else if (a.wc == c.wc) {
+      out[0] = a.item;
+      for (int k = 1; k < c_; ++k) {
+        out[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(k - 1)];
+      }
+      stats_first_.fetch_add(1, std::memory_order_relaxed);
+    } else {  // c.wc == e.wc
+      out[0] = c.item;
+      for (int k = 1; k < c_; ++k) {
+        out[static_cast<std::size_t>(k)] = d[static_cast<std::size_t>(k - 1)];
+      }
+      stats_second_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // 9: return
+  }
+
+  const int c_;
+  const int r_;
+  std::unique_ptr<Cell<Y0>> y0_;
+  std::vector<std::unique_ptr<SmallCell<std::uint8_t>>> z_;
+  std::unique_ptr<CompositeRegister> inner_;  // null iff c_ == 1
+  Writer0State w0_;                           // Writer 0 private state
+
+  // Statement-8 outcome counters (see scan_case_stats()).
+  mutable std::atomic<std::uint64_t> stats_adopted_{0};
+  mutable std::atomic<std::uint64_t> stats_first_{0};
+  mutable std::atomic<std::uint64_t> stats_second_{0};
+  mutable std::atomic<std::uint64_t> stats_base_{0};
+
+#ifndef NDEBUG
+  std::unique_ptr<std::atomic<bool>> writer0_busy_;
+  std::unique_ptr<std::atomic<bool>[]> reader_busy_;
+#endif
+};
+
+}  // namespace compreg::core

@@ -1,0 +1,13 @@
+// Compilation anchor: instantiates the core templates once so errors
+// surface when the library builds.
+#include "core/composite_register.h"
+#include "core/multi_writer.h"
+#include "registers/tagged_cell.h"
+
+namespace compreg::core {
+
+template class CompositeRegister<std::uint64_t, registers::HazardCell>;
+template class CompositeRegister<std::uint64_t, registers::TaggedCell>;
+template class MultiWriterSnapshot<std::uint64_t, registers::HazardCell>;
+
+}  // namespace compreg::core

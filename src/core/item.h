@@ -1,0 +1,25 @@
+// Item: a component value tagged with the paper's auxiliary `id`.
+//
+// Section 4.1: "the id field of Y[k] is an integer variable used to
+// uniquely identify these successive input values. The id fields are
+// auxiliary variables and are used in defining the functions
+// phi_0..phi_{C-1} of the Shrinking Lemma." We keep them: they are one
+// 64-bit counter per component and they let the lin:: module verify the
+// Shrinking Lemma's five conditions mechanically on recorded histories.
+// No algorithmic decision ever reads an id (mirroring the paper's
+// auxiliary-variable discipline); the public scan() strips them.
+#pragma once
+
+#include <cstdint>
+
+namespace compreg::core {
+
+template <typename V>
+struct Item {
+  V val{};
+  std::uint64_t id = 0;  // auxiliary: phi_k of the Write that produced val
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+}  // namespace compreg::core

@@ -1,0 +1,143 @@
+// MultiWriterSnapshot: composite register with multiple writers per
+// component (the companion result, reference [3] of the paper).
+//
+// The paper's Section 1 announces: "In a related paper, we show how to
+// use the composite register construction of this paper to implement a
+// composite register with multiple writers per component." The full
+// text of [3] is not available here, so we implement the classical
+// reduction achieving exactly that interface on top of this paper's
+// single-writer register (see DESIGN.md, substitutions table):
+//
+//   * the inner single-writer register has one component per process;
+//     process p's component holds p's latest (value, tag) for every
+//     logical component;
+//   * Write(k, v) by p: take an inner snapshot, compute the maximum
+//     tag currently visible on component k, then single-writer-write
+//     p's own component with slot k set to (v, max_tag + 1);
+//   * Read: take an inner snapshot and, per logical component, select
+//     the slot with the lexicographically largest (tag, process id).
+//
+// Because tag selection happens inside an atomic snapshot, two Writes
+// ordered in real time get strictly increasing tags, and (tag, pid)
+// totally orders the Writes of each component; Reads inherit
+// consistency from the inner scan. Verified by the Shrinking Lemma
+// checker like every other implementation.
+//
+// Interface note: unlike Snapshot<V>, update() here takes the calling
+// process id — any process may write any component.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/composite_register.h"
+#include "core/item.h"
+#include "util/assert.h"
+
+namespace compreg::core {
+
+template <typename V, template <typename> class Cell = registers::HazardCell>
+class MultiWriterSnapshot {
+ public:
+  // `processes` potential writers, `num_readers` dedicated reader
+  // slots. Process p uses inner reader slot p for its embedded scans;
+  // reader r uses inner slot processes + r.
+  MultiWriterSnapshot(int components, int processes, int num_readers,
+                      const V& initial)
+      : m_(components), n_(processes), r_(num_readers) {
+    COMPREG_CHECK(components >= 1);
+    COMPREG_CHECK(processes >= 1);
+    COMPREG_CHECK(num_readers >= 0);
+    Entry init;
+    init.slots.assign(static_cast<std::size_t>(m_), Slot{initial, 0});
+    inner_ = std::make_unique<CompositeRegister<Entry, Cell>>(
+        n_, n_ + (r_ > 0 ? r_ : 1), init);
+    // Each process caches its own component (it is that component's
+    // only writer, so the cache is always accurate).
+    own_.assign(static_cast<std::size_t>(n_), init);
+    scratch_.resize(static_cast<std::size_t>(r_ > 0 ? r_ : 1));
+  }
+
+  int components() const { return m_; }
+  int processes() const { return n_; }
+  int readers() const { return r_; }
+
+  // Write `value` to component k as process p. Returns the auxiliary
+  // id phi_k of this Write: (tag << 20) | p — unique and monotone in
+  // the real-time order of k-Writes.
+  std::uint64_t update(int process, int component, const V& value) {
+    COMPREG_DCHECK(process >= 0 && process < n_);
+    COMPREG_DCHECK(component >= 0 && component < m_);
+    const std::size_t k = static_cast<std::size_t>(component);
+    std::vector<Item<Entry>> view;
+    inner_->scan_items(process, view);
+    std::uint64_t max_tag = 0;
+    for (const auto& item : view) {
+      const std::uint64_t t = item.val.slots[k].tag;
+      if (t > max_tag) max_tag = t;
+    }
+    Entry& mine = own_[static_cast<std::size_t>(process)];
+    mine.slots[k] = Slot{value, max_tag + 1};
+    inner_->update(process, mine);
+    return phi(max_tag + 1, process);
+  }
+
+  // Atomic snapshot of all components, with auxiliary ids matching the
+  // ids returned by update().
+  void scan_items(int reader_id, std::vector<Item<V>>& out) {
+    COMPREG_DCHECK(reader_id >= 0 && reader_id < (r_ > 0 ? r_ : 1));
+    inner_->scan_items(n_ + reader_id, buf_for(reader_id));
+    const std::vector<Item<Entry>>& view = buf_for(reader_id);
+    out.resize(static_cast<std::size_t>(m_));
+    for (int k = 0; k < m_; ++k) {
+      const std::size_t ku = static_cast<std::size_t>(k);
+      int best = 0;
+      for (int p = 1; p < n_; ++p) {
+        const Slot& cand = view[static_cast<std::size_t>(p)].val.slots[ku];
+        const Slot& cur = view[static_cast<std::size_t>(best)].val.slots[ku];
+        if (cand.tag > cur.tag || (cand.tag == cur.tag && p > best)) best = p;
+      }
+      const Slot& winner = view[static_cast<std::size_t>(best)].val.slots[ku];
+      out[ku] = Item<V>{winner.value,
+                        winner.tag == 0 ? 0 : phi(winner.tag, best)};
+    }
+  }
+
+  std::vector<V> scan(int reader_id) {
+    std::vector<Item<V>> items;
+    scan_items(reader_id, items);
+    std::vector<V> out(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) out[i] = items[i].val;
+    return out;
+  }
+
+ private:
+  struct Slot {
+    V value{};
+    std::uint64_t tag = 0;  // 0 = initial value, never used by a Write
+  };
+  struct Entry {
+    std::vector<Slot> slots;  // this process's latest write per component
+  };
+
+  static std::uint64_t phi(std::uint64_t tag, int pid) {
+    return (tag << 20) | static_cast<std::uint64_t>(pid);
+  }
+
+  std::vector<Item<Entry>>& buf_for(int reader_id) {
+    // One scratch collect buffer per reader slot, pre-sized in the
+    // constructor (slots are single-threaded by contract, and sizing
+    // up front keeps this data-race free).
+    return scratch_[static_cast<std::size_t>(reader_id)];
+  }
+
+  const int m_;
+  const int n_;
+  const int r_;
+  std::unique_ptr<CompositeRegister<Entry, Cell>> inner_;
+  std::vector<Entry> own_;  // own_[p]: process p's private component copy
+  std::vector<std::vector<Item<Entry>>> scratch_;
+};
+
+}  // namespace compreg::core

@@ -1,0 +1,61 @@
+// Snapshot: the composite-register interface (paper Section 2).
+//
+// A C/B/W/R composite register is an array-like shared object with C
+// components; an operation either Writes one component (update) or
+// Reads all components in a single atomic snapshot (scan). This
+// interface is implemented by the paper's construction
+// (core::CompositeRegister), by every baseline in src/baselines, and is
+// what the lin:: verification harness and the benchmarks drive, so all
+// implementations are interchangeable under test.
+//
+// Concurrency contract (single-writer, matching C/B/1/R):
+//  * update(k, v) — at most one thread at a time per component k;
+//  * scan*(r, ..) — at most one thread at a time per reader slot r;
+//  * distinct components / reader slots may be driven fully
+//    concurrently; all operations are linearizable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/item.h"
+
+namespace compreg::core {
+
+template <typename V>
+class Snapshot {
+ public:
+  virtual ~Snapshot() = default;
+
+  virtual int components() const = 0;
+  virtual int readers() const = 0;
+
+  // Writes `value` to component k; returns the auxiliary write id
+  // (the paper's item.id — phi_k of this Write operation).
+  virtual std::uint64_t update(int component, const V& value) = 0;
+
+  // Reads all components atomically, with auxiliary ids.
+  virtual void scan_items(int reader_id, std::vector<Item<V>>& out) = 0;
+
+  // Convenience forms.
+  std::vector<Item<V>> scan_items(int reader_id) {
+    std::vector<Item<V>> out;
+    scan_items(reader_id, out);
+    return out;
+  }
+
+  void scan(int reader_id, std::vector<V>& out) {
+    thread_local std::vector<Item<V>> items;
+    scan_items(reader_id, items);
+    out.resize(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) out[i] = items[i].val;
+  }
+
+  std::vector<V> scan(int reader_id) {
+    std::vector<V> out;
+    scan(reader_id, out);
+    return out;
+  }
+};
+
+}  // namespace compreg::core

@@ -1,0 +1,75 @@
+// SnapshotMemory: "a shared memory that can be read in its entirety in
+// a single snapshot operation, without using mutual exclusion" — the
+// headline consequence in the paper's introduction, as a direct API.
+//
+// "Such a memory can be implemented by a single composite register,
+// with each memory location corresponding to a component of the
+// register. To write a given memory location, a process writes the
+// corresponding component. To read any set of memory locations, a
+// process reads the entire composite register, and then selects the
+// values of the components corresponding to this set." (Section 1)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/composite_register.h"
+#include "util/assert.h"
+
+namespace compreg::core {
+
+template <typename Word = std::uint64_t,
+          template <typename> class Cell = registers::HazardCell>
+class SnapshotMemory {
+ public:
+  // `words` memory locations, `num_readers` snapshot slots. Location w
+  // may be written by one thread at a time (single-writer memory; wrap
+  // MultiWriterSnapshot for shared locations).
+  SnapshotMemory(int words, int num_readers, Word initial = Word{})
+      : reg_(words, num_readers, initial) {}
+
+  int size() const { return reg_.components(); }
+  int readers() const { return reg_.readers(); }
+
+  // Wait-free store to one location.
+  void store(int address, const Word& value) { reg_.update(address, value); }
+
+  // Atomic snapshot of the whole memory.
+  void load_all(int reader_id, std::vector<Word>& out) {
+    reg_.scan(reader_id, out);
+  }
+  std::vector<Word> load_all(int reader_id) {
+    std::vector<Word> out;
+    load_all(reader_id, out);
+    return out;
+  }
+
+  // Atomic multi-word read: the values of an arbitrary address set, all
+  // from one instant. (Per the paper: snapshot, then select.)
+  std::vector<Word> load(int reader_id, std::span<const int> addresses) {
+    std::vector<Word> all;
+    load_all(reader_id, all);
+    std::vector<Word> out;
+    out.reserve(addresses.size());
+    for (int a : addresses) {
+      COMPREG_DCHECK(a >= 0 && a < size());
+      out.push_back(all[static_cast<std::size_t>(a)]);
+    }
+    return out;
+  }
+
+  // Single-word read (still one snapshot underneath: the composite
+  // register has no cheaper atomic read).
+  Word load(int reader_id, int address) {
+    std::vector<Word> all;
+    load_all(reader_id, all);
+    COMPREG_DCHECK(address >= 0 && address < size());
+    return all[static_cast<std::size_t>(address)];
+  }
+
+ private:
+  CompositeRegister<Word, Cell> reg_;
+};
+
+}  // namespace compreg::core

@@ -1,0 +1,71 @@
+// TupleSnapshot: heterogeneous components with compile-time checked
+// writers.
+//
+// The paper's composite register gives every component the same value
+// type; real configurations mix types (a string-ish config blob next to
+// an integer epoch next to a flag set). TupleSnapshot<Ts...> wraps a
+// CompositeRegister<std::variant<Ts...>> and restores static typing at
+// the API: set<k>() takes exactly the k-th type, snapshot() returns
+// std::tuple<Ts...> captured atomically.
+#pragma once
+
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "core/composite_register.h"
+#include "util/assert.h"
+
+namespace compreg::core {
+
+template <typename... Ts>
+class TupleSnapshot {
+  static_assert(sizeof...(Ts) >= 1);
+
+ public:
+  using Variant = std::variant<Ts...>;
+  using Tuple = std::tuple<Ts...>;
+  static constexpr int kComponents = static_cast<int>(sizeof...(Ts));
+
+  // Components start from the given initial values.
+  explicit TupleSnapshot(int num_readers, Ts... initial)
+      : reg_(kComponents, num_readers, Variant{}) {
+    // Overwrite the defaulted initial values with the typed ones
+    // (construction-time: no concurrency yet, ids shift by one).
+    int k = 0;
+    ((reg_.update(k++, Variant{std::move(initial)})), ...);
+  }
+
+  int readers() const { return reg_.readers(); }
+
+  // Write component K (single writer per component, as always).
+  template <std::size_t K>
+  void set(const std::tuple_element_t<K, Tuple>& value) {
+    static_assert(K < sizeof...(Ts));
+    reg_.update(static_cast<int>(K), Variant{std::in_place_index<K>, value});
+  }
+
+  // Atomic snapshot of all components, typed.
+  Tuple snapshot(int reader_id) {
+    std::vector<Item<Variant>> items;
+    reg_.scan_items(reader_id, items);
+    return unpack(items, std::index_sequence_for<Ts...>{});
+  }
+
+  // Read one component (still a full snapshot underneath).
+  template <std::size_t K>
+  std::tuple_element_t<K, Tuple> get(int reader_id) {
+    return std::get<K>(snapshot(reader_id));
+  }
+
+ private:
+  template <std::size_t... Is>
+  Tuple unpack(const std::vector<Item<Variant>>& items,
+               std::index_sequence<Is...>) {
+    return Tuple{std::get<Is>(items[Is].val)...};
+  }
+
+  CompositeRegister<Variant> reg_;
+};
+
+}  // namespace compreg::core

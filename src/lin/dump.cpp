@@ -1,0 +1,118 @@
+#include "lin/dump.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace compreg::lin {
+namespace {
+
+constexpr const char* kPendingToken = "pending";
+
+}  // namespace
+
+void dump_history(const History& h, std::ostream& os) {
+  os << "history " << h.components << "\n";
+  os << "init";
+  for (std::uint64_t v : h.initial) os << ' ' << v;
+  os << "\n";
+  for (const WriteRec& w : h.writes) {
+    os << "w " << w.proc << ' ' << w.component << ' ' << w.id << ' '
+       << w.value << ' ' << w.start << ' ';
+    if (w.end == kPendingEnd) {
+      os << kPendingToken;
+    } else {
+      os << w.end;
+    }
+    os << "\n";
+  }
+  for (const ReadRec& r : h.reads) {
+    os << "r " << r.proc << ' ' << r.start << ' ' << r.end << " ids";
+    for (std::uint64_t id : r.ids) os << ' ' << id;
+    os << " vals";
+    for (std::uint64_t v : r.values) os << ' ' << v;
+    os << "\n";
+  }
+}
+
+std::string dump_history(const History& h) {
+  std::ostringstream os;
+  dump_history(h, os);
+  return os.str();
+}
+
+std::optional<History> parse_history(std::istream& is) {
+  History h;
+  bool have_header = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "history") {
+      if (!(ls >> h.components) || h.components < 1) return std::nullopt;
+      have_header = true;
+    } else if (tag == "init") {
+      if (!have_header) return std::nullopt;
+      h.initial.clear();
+      std::uint64_t v;
+      while (ls >> v) h.initial.push_back(v);
+      if (static_cast<int>(h.initial.size()) != h.components) {
+        return std::nullopt;
+      }
+    } else if (tag == "w") {
+      if (!have_header) return std::nullopt;
+      WriteRec w;
+      std::string end_tok;
+      if (!(ls >> w.proc >> w.component >> w.id >> w.value >> w.start >>
+            end_tok)) {
+        return std::nullopt;
+      }
+      if (end_tok == kPendingToken) {
+        w.end = kPendingEnd;
+      } else {
+        try {
+          w.end = std::stoull(end_tok);
+        } catch (...) {
+          return std::nullopt;
+        }
+      }
+      if (w.component < 0 || w.component >= h.components) return std::nullopt;
+      h.writes.push_back(w);
+    } else if (tag == "r") {
+      if (!have_header) return std::nullopt;
+      ReadRec r;
+      std::string marker;
+      if (!(ls >> r.proc >> r.start >> r.end >> marker) || marker != "ids") {
+        return std::nullopt;
+      }
+      for (int k = 0; k < h.components; ++k) {
+        std::uint64_t id;
+        if (!(ls >> id)) return std::nullopt;
+        r.ids.push_back(id);
+      }
+      if (!(ls >> marker) || marker != "vals") return std::nullopt;
+      for (int k = 0; k < h.components; ++k) {
+        std::uint64_t v;
+        if (!(ls >> v)) return std::nullopt;
+        r.values.push_back(v);
+      }
+      h.reads.push_back(std::move(r));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_header ||
+      static_cast<int>(h.initial.size()) != h.components) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+std::optional<History> parse_history(const std::string& text) {
+  std::istringstream is(text);
+  return parse_history(is);
+}
+
+}  // namespace compreg::lin

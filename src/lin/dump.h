@@ -1,0 +1,27 @@
+// History serialization: dump recorded histories to a line-oriented
+// text format (and parse them back). Useful for attaching failing
+// histories to bug reports and for replaying checker regressions.
+//
+// Format (one record per line, '#' comments ignored):
+//   history <components>
+//   init <v0> <v1> ...
+//   w <proc> <component> <id> <value> <start> <end|pending>
+//   r <proc> <start> <end> ids <i0> <i1> ... vals <v0> <v1> ...
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "lin/history.h"
+
+namespace compreg::lin {
+
+void dump_history(const History& h, std::ostream& os);
+std::string dump_history(const History& h);
+
+// Returns nullopt on malformed input.
+std::optional<History> parse_history(std::istream& is);
+std::optional<History> parse_history(const std::string& text);
+
+}  // namespace compreg::lin

@@ -1,0 +1,38 @@
+#include "lin/history.h"
+
+#include "util/assert.h"
+
+namespace compreg::lin {
+
+HistoryRecorder::HistoryRecorder(int components,
+                                 std::vector<std::uint64_t> initial,
+                                 int num_procs)
+    : components_(components), initial_(std::move(initial)) {
+  COMPREG_CHECK(components >= 1);
+  COMPREG_CHECK(static_cast<int>(initial_.size()) == components);
+  buffers_.reserve(static_cast<std::size_t>(num_procs));
+  for (int p = 0; p < num_procs; ++p) {
+    buffers_.push_back(std::make_unique<ProcBuffer>());
+  }
+}
+
+void HistoryRecorder::record_write(int proc, WriteRec rec) {
+  buffers_[static_cast<std::size_t>(proc)]->writes.push_back(std::move(rec));
+}
+
+void HistoryRecorder::record_read(int proc, ReadRec rec) {
+  buffers_[static_cast<std::size_t>(proc)]->reads.push_back(std::move(rec));
+}
+
+History HistoryRecorder::merge() const {
+  History h;
+  h.components = components_;
+  h.initial = initial_;
+  for (const auto& buf : buffers_) {
+    h.writes.insert(h.writes.end(), buf->writes.begin(), buf->writes.end());
+    h.reads.insert(h.reads.end(), buf->reads.begin(), buf->reads.end());
+  }
+  return h;
+}
+
+}  // namespace compreg::lin

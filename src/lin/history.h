@@ -1,0 +1,90 @@
+// Histories of composite-register executions (paper Section 2).
+//
+// A history is the sequence of operations produced by one concurrent
+// execution. We record, per operation, a logical-time interval
+// [start, end] drawn from a shared atomic counter ticked at invocation
+// and response: operation p precedes operation q (paper: every event of
+// p precedes every event of q) iff p.end < q.start. Reads carry the
+// per-component auxiliary ids they returned — exactly the phi_k values
+// of the Shrinking Lemma — and writes carry the id assigned to them, so
+// the checkers can evaluate the lemma's five conditions mechanically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace compreg::lin {
+
+// end == kPendingEnd marks an operation whose process halted before
+// completing it (fault injection): it precedes nothing, and a
+// linearization may or may not include its effect — unless some Read
+// returned its value, in which case the checkers require it to fit.
+inline constexpr std::uint64_t kPendingEnd = ~std::uint64_t{0};
+
+struct WriteRec {
+  int component = 0;
+  std::uint64_t id = 0;     // phi_k of this Write (auxiliary item.id)
+  std::uint64_t value = 0;  // input value
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;    // kPendingEnd if the writer halted mid-op
+  int proc = 0;
+};
+
+struct ReadRec {
+  std::vector<std::uint64_t> ids;     // phi_k(r) per component
+  std::vector<std::uint64_t> values;  // output values per component
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  int proc = 0;
+};
+
+struct History {
+  int components = 0;
+  std::vector<std::uint64_t> initial;  // value of the Initial Write per k
+  std::vector<WriteRec> writes;
+  std::vector<ReadRec> reads;
+
+  std::size_t size() const { return writes.size() + reads.size(); }
+};
+
+// Shared logical clock; one tick per invocation/response event.
+class LogicalClock {
+ public:
+  std::uint64_t tick() { return now_.fetch_add(1, std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<std::uint64_t> now_{1};
+};
+
+// Collects operation records without cross-thread synchronization: each
+// process appends to its own buffer; merge() runs after all processes
+// have joined.
+class HistoryRecorder {
+ public:
+  HistoryRecorder(int components, std::vector<std::uint64_t> initial,
+                  int num_procs);
+
+  LogicalClock& clock() { return clock_; }
+
+  void record_write(int proc, WriteRec rec);
+  void record_read(int proc, ReadRec rec);
+
+  // Merge all per-process buffers. Call only after every recording
+  // thread has finished.
+  History merge() const;
+
+ private:
+  struct ProcBuffer {
+    std::vector<WriteRec> writes;
+    std::vector<ReadRec> reads;
+  };
+
+  int components_;
+  std::vector<std::uint64_t> initial_;
+  LogicalClock clock_;
+  std::vector<std::unique_ptr<ProcBuffer>> buffers_;
+};
+
+}  // namespace compreg::lin

@@ -1,0 +1,88 @@
+#include "lin/register_checker.h"
+
+#include <algorithm>
+
+namespace compreg::lin {
+
+namespace {
+
+// Shared core: duplicate-id and writer-serial checks plus regularity
+// of every read. Returns writes sorted by id through `sorted`.
+CheckResult check_regular_core(const RegisterHistory& h,
+                               std::vector<RegWrite>& sorted) {
+  sorted = h.writes;
+  sorted.push_back(RegWrite{0, 0, 0});
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RegWrite& a, const RegWrite& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1].id == sorted[i].id) {
+      return CheckResult{false, "duplicate write id"};
+    }
+    if (sorted[i - 1].end >= sorted[i].start) {
+      return CheckResult{false, "writer operations overlap"};
+    }
+  }
+  auto find = [&](std::uint64_t id) -> const RegWrite* {
+    auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), id,
+        [](const RegWrite& w, std::uint64_t v) { return w.id < v; });
+    return (it != sorted.end() && it->id == id) ? &*it : nullptr;
+  };
+  for (const RegRead& r : h.reads) {
+    const RegWrite* w = find(r.id);
+    if (w == nullptr) return CheckResult{false, "read of unwritten value"};
+    if (w->start >= r.end) {
+      return CheckResult{false, "read returned a future write"};
+    }
+    for (const RegWrite& other : sorted) {
+      if (other.end < r.start && other.id > r.id) {
+        return CheckResult{false, "read returned an overwritten value"};
+      }
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace
+
+CheckResult check_register_regularity(const RegisterHistory& h) {
+  std::vector<RegWrite> sorted;
+  return check_regular_core(h, sorted);
+}
+
+CheckResult check_register_atomicity(const RegisterHistory& h) {
+  // Lamport: atomic = regular + no new-old inversion (single writer).
+  std::vector<RegWrite> writes;
+  const CheckResult regular = check_regular_core(h, writes);
+  if (!regular.ok) return regular;
+
+  // No new-old inversion: reads ordered in real time must return
+  // writes in id order (the single writer's ids are monotone).
+  std::vector<const RegRead*> by_start;
+  by_start.reserve(h.reads.size());
+  for (const RegRead& r : h.reads) by_start.push_back(&r);
+  std::sort(by_start.begin(), by_start.end(),
+            [](const RegRead* a, const RegRead* b) {
+              return a->start < b->start;
+            });
+  // Sweep with max id among completed reads.
+  std::vector<const RegRead*> by_end = by_start;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RegRead* a, const RegRead* b) { return a->end < b->end; });
+  std::size_t ei = 0;
+  std::uint64_t max_completed = 0;
+  bool any = false;
+  for (const RegRead* r : by_start) {
+    while (ei < by_end.size() && by_end[ei]->end < r->start) {
+      max_completed = std::max(max_completed, by_end[ei]->id);
+      any = true;
+      ++ei;
+    }
+    if (any && r->id < max_completed) {
+      return CheckResult{false, "new-old inversion between reads"};
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace compreg::lin

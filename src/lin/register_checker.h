@@ -1,0 +1,42 @@
+// Atomicity checker for single-register histories.
+//
+// For a single-writer register with uniquely identified writes,
+// Lamport's characterization applies: a history is atomic iff every
+// read is *regular* (returns the latest preceding write or an
+// overlapping one) and there is no new-old inversion between reads.
+// Used to validate the register substrate (HazardCell, TaggedCell,
+// SimpsonRegister) and each layer of the theoretical chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lin/shrinking_checker.h"  // CheckResult
+
+namespace compreg::lin {
+
+struct RegWrite {
+  std::uint64_t id = 0;  // write sequence number, 0 = initial value
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+struct RegRead {
+  std::uint64_t id = 0;  // id of the write whose value was returned
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+struct RegisterHistory {
+  std::vector<RegWrite> writes;  // single writer: ids 1..n, serial
+  std::vector<RegRead> reads;
+};
+
+CheckResult check_register_atomicity(const RegisterHistory& h);
+
+// Regularity only (Lamport): every read returns the latest preceding
+// write or an overlapping one; new-old inversions are permitted. Used
+// for the regular layers of the theoretical chain.
+CheckResult check_register_regularity(const RegisterHistory& h);
+
+}  // namespace compreg::lin

@@ -1,0 +1,411 @@
+#include "lin/shrinking_checker.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace compreg::lin {
+namespace {
+
+struct W {
+  std::uint64_t id;
+  std::uint64_t value;
+  std::uint64_t start;
+  std::uint64_t end;
+};
+
+// Per-component write tables, including the paper's assumed Initial
+// Write (id 0, interval [0,0], preceding every real operation).
+std::vector<std::vector<W>> writes_by_component(const History& h) {
+  std::vector<std::vector<W>> per(static_cast<std::size_t>(h.components));
+  for (int k = 0; k < h.components; ++k) {
+    per[static_cast<std::size_t>(k)].push_back(
+        W{0, h.initial[static_cast<std::size_t>(k)], 0, 0});
+  }
+  for (const WriteRec& w : h.writes) {
+    per[static_cast<std::size_t>(w.component)].push_back(
+        W{w.id, w.value, w.start, w.end});
+  }
+  return per;
+}
+
+CheckResult fail(std::string msg) { return CheckResult{false, std::move(msg)}; }
+
+std::string describe(const char* cond, int component, std::uint64_t detail_a,
+                     std::uint64_t detail_b) {
+  std::ostringstream os;
+  os << cond << " violated (component " << component << ", " << detail_a
+     << " vs " << detail_b << ")";
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult check_shrinking_lemma(const History& h) {
+  const int C = h.components;
+  const std::size_t cu = static_cast<std::size_t>(C);
+  for (const ReadRec& r : h.reads) {
+    if (r.ids.size() != cu || r.values.size() != cu) {
+      return fail("malformed read record (component count mismatch)");
+    }
+  }
+
+  std::vector<std::vector<W>> per = writes_by_component(h);
+
+  // ---- Uniqueness -------------------------------------------------------
+  // Distinct ids per component; real-time precedence implies id order.
+  for (int k = 0; k < C; ++k) {
+    auto& ws = per[static_cast<std::size_t>(k)];
+    std::vector<std::size_t> by_id(ws.size());
+    for (std::size_t i = 0; i < ws.size(); ++i) by_id[i] = i;
+    std::sort(by_id.begin(), by_id.end(), [&](std::size_t a, std::size_t b) {
+      return ws[a].id < ws[b].id;
+    });
+    for (std::size_t i = 1; i < by_id.size(); ++i) {
+      if (ws[by_id[i - 1]].id == ws[by_id[i]].id) {
+        return fail(describe("Uniqueness (duplicate id)", k,
+                             ws[by_id[i]].id, ws[by_id[i]].id));
+      }
+    }
+    // Sweep: every write must out-id all writes that completed before it
+    // started.
+    std::vector<std::size_t> by_start(by_id), by_end(by_id);
+    std::sort(by_start.begin(), by_start.end(),
+              [&](std::size_t a, std::size_t b) {
+                return ws[a].start < ws[b].start;
+              });
+    std::sort(by_end.begin(), by_end.end(),
+              [&](std::size_t a, std::size_t b) {
+                return ws[a].end < ws[b].end;
+              });
+    std::size_t ei = 0;
+    std::uint64_t max_completed_id = 0;
+    bool any_completed = false;
+    for (std::size_t si = 0; si < by_start.size(); ++si) {
+      const W& w = ws[by_start[si]];
+      while (ei < by_end.size() && ws[by_end[ei]].end < w.start) {
+        max_completed_id = std::max(max_completed_id, ws[by_end[ei]].id);
+        any_completed = true;
+        ++ei;
+      }
+      if (any_completed && max_completed_id >= w.id) {
+        return fail(describe("Uniqueness (precedence order)", k,
+                             max_completed_id, w.id));
+      }
+    }
+  }
+
+  // ---- Integrity --------------------------------------------------------
+  std::vector<std::unordered_map<std::uint64_t, const W*>> index(cu);
+  for (int k = 0; k < C; ++k) {
+    for (const W& w : per[static_cast<std::size_t>(k)]) {
+      index[static_cast<std::size_t>(k)].emplace(w.id, &w);
+    }
+  }
+  for (const ReadRec& r : h.reads) {
+    for (int k = 0; k < C; ++k) {
+      const std::size_t ku = static_cast<std::size_t>(k);
+      auto it = index[ku].find(r.ids[ku]);
+      if (it == index[ku].end()) {
+        return fail(describe("Integrity (no such write)", k, r.ids[ku], 0));
+      }
+      if (it->second->value != r.values[ku]) {
+        return fail(describe("Integrity (value mismatch)", k,
+                             it->second->value, r.values[ku]));
+      }
+    }
+  }
+
+  // ---- Proximity --------------------------------------------------------
+  // Reads sorted once by start and by end; reused per component.
+  std::vector<std::size_t> reads_by_start(h.reads.size());
+  std::vector<std::size_t> reads_by_end(h.reads.size());
+  for (std::size_t i = 0; i < h.reads.size(); ++i) {
+    reads_by_start[i] = i;
+    reads_by_end[i] = i;
+  }
+  std::sort(reads_by_start.begin(), reads_by_start.end(),
+            [&](std::size_t a, std::size_t b) {
+              return h.reads[a].start < h.reads[b].start;
+            });
+  std::sort(reads_by_end.begin(), reads_by_end.end(),
+            [&](std::size_t a, std::size_t b) {
+              return h.reads[a].end < h.reads[b].end;
+            });
+
+  for (int k = 0; k < C; ++k) {
+    const std::size_t ku = static_cast<std::size_t>(k);
+    auto& ws = per[ku];
+    std::vector<std::size_t> w_by_start(ws.size()), w_by_end(ws.size());
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      w_by_start[i] = i;
+      w_by_end[i] = i;
+    }
+    std::sort(w_by_start.begin(), w_by_start.end(),
+              [&](std::size_t a, std::size_t b) {
+                return ws[a].start < ws[b].start;
+              });
+    std::sort(w_by_end.begin(), w_by_end.end(),
+              [&](std::size_t a, std::size_t b) {
+                return ws[a].end < ws[b].end;
+              });
+
+    // (a) r precedes w => phi_k(r) < phi_k(w).
+    {
+      std::size_t ri = 0;
+      std::uint64_t max_read_phi = 0;
+      bool any = false;
+      for (std::size_t si = 0; si < w_by_start.size(); ++si) {
+        const W& w = ws[w_by_start[si]];
+        while (ri < reads_by_end.size() &&
+               h.reads[reads_by_end[ri]].end < w.start) {
+          max_read_phi =
+              std::max(max_read_phi, h.reads[reads_by_end[ri]].ids[ku]);
+          any = true;
+          ++ri;
+        }
+        if (any && max_read_phi >= w.id) {
+          return fail(describe("Proximity (read from the future)", k,
+                               max_read_phi, w.id));
+        }
+      }
+    }
+    // (b) w precedes r => phi_k(w) <= phi_k(r).
+    {
+      std::size_t wi = 0;
+      std::uint64_t max_write_id = 0;
+      for (std::size_t si = 0; si < reads_by_start.size(); ++si) {
+        const ReadRec& r = h.reads[reads_by_start[si]];
+        while (wi < w_by_end.size() && ws[w_by_end[wi]].end < r.start) {
+          max_write_id = std::max(max_write_id, ws[w_by_end[wi]].id);
+          ++wi;
+        }
+        if (r.ids[ku] < max_write_id) {
+          return fail(describe("Proximity (overwritten value)", k,
+                               max_write_id, r.ids[ku]));
+        }
+      }
+    }
+  }
+
+  // ---- Read Precedence --------------------------------------------------
+  // (i) All snapshots must be componentwise comparable: lexicographic
+  // order must coincide with componentwise order.
+  {
+    std::vector<std::size_t> by_lex(h.reads.size());
+    for (std::size_t i = 0; i < by_lex.size(); ++i) by_lex[i] = i;
+    std::sort(by_lex.begin(), by_lex.end(), [&](std::size_t a,
+                                                std::size_t b) {
+      return h.reads[a].ids < h.reads[b].ids;
+    });
+    for (std::size_t i = 1; i < by_lex.size(); ++i) {
+      const auto& lo = h.reads[by_lex[i - 1]].ids;
+      const auto& hi = h.reads[by_lex[i]].ids;
+      for (int k = 0; k < C; ++k) {
+        const std::size_t ku = static_cast<std::size_t>(k);
+        if (lo[ku] > hi[ku]) {
+          return fail(describe("Read Precedence (incomparable snapshots)",
+                               k, lo[ku], hi[ku]));
+        }
+      }
+    }
+  }
+  // (ii) r precedes s => phi(r) <= phi(s) componentwise.
+  {
+    std::size_t ri = 0;
+    std::vector<std::uint64_t> max_completed(cu, 0);
+    for (std::size_t si = 0; si < reads_by_start.size(); ++si) {
+      const ReadRec& s = h.reads[reads_by_start[si]];
+      while (ri < reads_by_end.size() &&
+             h.reads[reads_by_end[ri]].end < s.start) {
+        const ReadRec& done = h.reads[reads_by_end[ri]];
+        for (int k = 0; k < C; ++k) {
+          const std::size_t ku = static_cast<std::size_t>(k);
+          max_completed[ku] = std::max(max_completed[ku], done.ids[ku]);
+        }
+        ++ri;
+      }
+      for (int k = 0; k < C; ++k) {
+        const std::size_t ku = static_cast<std::size_t>(k);
+        if (s.ids[ku] < max_completed[ku]) {
+          return fail(describe("Read Precedence (real-time order)", k,
+                               max_completed[ku], s.ids[ku]));
+        }
+      }
+    }
+  }
+
+  // ---- Write Precedence -------------------------------------------------
+  // For read r: the latest start among writes r reflects is
+  //   M(r) = max_k start(write with largest id <= phi_k(r));
+  // every write that completed before M(r) must itself be reflected.
+  {
+    // Per component: writes sorted by id with prefix-max start, and
+    // sorted by end with prefix-max id.
+    struct CompIndex {
+      std::vector<std::uint64_t> ids;         // ascending
+      std::vector<std::uint64_t> pmax_start;  // prefix max of start, by id
+      std::vector<std::uint64_t> ends;        // ascending
+      std::vector<std::uint64_t> pmax_id;     // prefix max of id, by end
+    };
+    std::vector<CompIndex> ci(cu);
+    for (int k = 0; k < C; ++k) {
+      const std::size_t ku = static_cast<std::size_t>(k);
+      auto& ws = per[ku];
+      std::vector<std::size_t> by_id(ws.size()), by_end(ws.size());
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        by_id[i] = i;
+        by_end[i] = i;
+      }
+      std::sort(by_id.begin(), by_id.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return ws[a].id < ws[b].id;
+                });
+      std::sort(by_end.begin(), by_end.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return ws[a].end < ws[b].end;
+                });
+      CompIndex& idx = ci[ku];
+      idx.ids.reserve(ws.size());
+      idx.pmax_start.reserve(ws.size());
+      std::uint64_t pm = 0;
+      for (std::size_t i : by_id) {
+        pm = std::max(pm, ws[i].start);
+        idx.ids.push_back(ws[i].id);
+        idx.pmax_start.push_back(pm);
+      }
+      idx.ends.reserve(ws.size());
+      idx.pmax_id.reserve(ws.size());
+      std::uint64_t pid = 0;
+      for (std::size_t i : by_end) {
+        pid = std::max(pid, ws[i].id);
+        idx.ends.push_back(ws[i].end);
+        idx.pmax_id.push_back(pid);
+      }
+    }
+    for (const ReadRec& r : h.reads) {
+      std::uint64_t m = 0;
+      for (int k = 0; k < C; ++k) {
+        const std::size_t ku = static_cast<std::size_t>(k);
+        const CompIndex& idx = ci[ku];
+        // Largest id <= phi_k(r); exists by Integrity (checked above).
+        auto it = std::upper_bound(idx.ids.begin(), idx.ids.end(), r.ids[ku]);
+        const std::size_t pos = static_cast<std::size_t>(
+            std::distance(idx.ids.begin(), it));
+        if (pos > 0) m = std::max(m, idx.pmax_start[pos - 1]);
+      }
+      for (int j = 0; j < C; ++j) {
+        const std::size_t ju = static_cast<std::size_t>(j);
+        const CompIndex& idx = ci[ju];
+        // Max id among j-writes with end < M(r).
+        auto it = std::lower_bound(idx.ends.begin(), idx.ends.end(), m);
+        const std::size_t pos = static_cast<std::size_t>(
+            std::distance(idx.ends.begin(), it));
+        if (pos > 0 && idx.pmax_id[pos - 1] > r.ids[ju]) {
+          return fail(describe("Write Precedence", j, idx.pmax_id[pos - 1],
+                               r.ids[ju]));
+        }
+      }
+    }
+  }
+
+  return CheckResult{};
+}
+
+CheckResult check_shrinking_lemma_naive(const History& h) {
+  const int C = h.components;
+  const std::size_t cu = static_cast<std::size_t>(C);
+  std::vector<std::vector<W>> per = writes_by_component(h);
+
+  auto precedes = [](std::uint64_t end_a, std::uint64_t start_b) {
+    return end_a < start_b;
+  };
+
+  // Uniqueness.
+  for (int k = 0; k < C; ++k) {
+    auto& ws = per[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      for (std::size_t j = 0; j < ws.size(); ++j) {
+        if (i == j) continue;
+        if (ws[i].id == ws[j].id) return fail("Uniqueness (naive): dup id");
+        if (precedes(ws[i].end, ws[j].start) && ws[i].id >= ws[j].id) {
+          return fail("Uniqueness (naive): precedence order");
+        }
+      }
+    }
+  }
+  // Integrity.
+  for (const ReadRec& r : h.reads) {
+    for (int k = 0; k < C; ++k) {
+      const std::size_t ku = static_cast<std::size_t>(k);
+      bool found = false;
+      for (const W& w : per[ku]) {
+        if (w.id == r.ids[ku]) {
+          if (w.value != r.values[ku]) {
+            return fail("Integrity (naive): value mismatch");
+          }
+          found = true;
+          break;
+        }
+      }
+      if (!found) return fail("Integrity (naive): no such write");
+    }
+  }
+  // Proximity.
+  for (const ReadRec& r : h.reads) {
+    for (int k = 0; k < C; ++k) {
+      const std::size_t ku = static_cast<std::size_t>(k);
+      for (const W& w : per[ku]) {
+        if (precedes(r.end, w.start) && !(r.ids[ku] < w.id)) {
+          return fail("Proximity (naive): read from the future");
+        }
+        if (precedes(w.end, r.start) && !(w.id <= r.ids[ku])) {
+          return fail("Proximity (naive): overwritten value");
+        }
+      }
+    }
+  }
+  // Read Precedence.
+  for (const ReadRec& r : h.reads) {
+    for (const ReadRec& s : h.reads) {
+      bool lt = false;
+      for (int k = 0; k < C; ++k) {
+        if (r.ids[static_cast<std::size_t>(k)] <
+            s.ids[static_cast<std::size_t>(k)]) {
+          lt = true;
+          break;
+        }
+      }
+      if (lt || precedes(r.end, s.start)) {
+        for (int k = 0; k < C; ++k) {
+          const std::size_t ku = static_cast<std::size_t>(k);
+          if (!(r.ids[ku] <= s.ids[ku])) {
+            return fail("Read Precedence (naive)");
+          }
+        }
+      }
+    }
+  }
+  // Write Precedence.
+  for (const ReadRec& r : h.reads) {
+    for (int j = 0; j < C; ++j) {
+      for (int k = 0; k < C; ++k) {
+        for (const W& v : per[static_cast<std::size_t>(j)]) {
+          for (const W& w : per[static_cast<std::size_t>(k)]) {
+            if (precedes(v.end, w.start) &&
+                w.id <= r.ids[static_cast<std::size_t>(k)] &&
+                !(v.id <= r.ids[static_cast<std::size_t>(j)])) {
+              return fail("Write Precedence (naive)");
+            }
+          }
+        }
+      }
+    }
+  }
+  (void)cu;
+  return CheckResult{};
+}
+
+}  // namespace compreg::lin

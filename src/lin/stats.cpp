@@ -1,0 +1,127 @@
+#include "lin/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace compreg::lin {
+namespace {
+
+struct Interval {
+  std::uint64_t start;
+  std::uint64_t end;  // kPendingEnd for pending
+  bool is_read;
+};
+
+}  // namespace
+
+HistoryStats compute_stats(const History& h) {
+  HistoryStats stats;
+  stats.writes = h.writes.size();
+  stats.reads = h.reads.size();
+
+  std::vector<Interval> ops;
+  ops.reserve(h.size());
+  std::uint64_t horizon = 0;
+  for (const WriteRec& w : h.writes) {
+    if (w.end == kPendingEnd) ++stats.pending_writes;
+    ops.push_back(Interval{w.start, w.end, false});
+    if (w.end != kPendingEnd) horizon = std::max(horizon, w.end);
+    horizon = std::max(horizon, w.start);
+  }
+  for (const ReadRec& r : h.reads) {
+    ops.push_back(Interval{r.start, r.end, true});
+    horizon = std::max(horizon, r.end);
+  }
+  if (ops.empty()) return stats;
+
+  // Sweep events: +1 at start, -1 at end+1 (intervals are inclusive;
+  // pending ops never end).
+  std::vector<std::pair<std::uint64_t, int>> events;
+  events.reserve(ops.size() * 2);
+  for (const Interval& op : ops) {
+    events.emplace_back(op.start, +1);
+    if (op.end != kPendingEnd) events.emplace_back(op.end + 1, -1);
+  }
+  std::sort(events.begin(), events.end());
+  std::size_t current = 0;
+  std::uint64_t weighted = 0;
+  std::uint64_t prev_time = 0;
+  for (const auto& [time, delta] : events) {
+    weighted += static_cast<std::uint64_t>(current) * (time - prev_time);
+    prev_time = time;
+    current = static_cast<std::size_t>(static_cast<long>(current) + delta);
+    stats.max_concurrency = std::max(stats.max_concurrency, current);
+  }
+  stats.mean_concurrency =
+      horizon == 0 ? 0.0
+                   : static_cast<double>(weighted) /
+                         static_cast<double>(horizon);
+
+  // Pairwise overlaps (O(n log n) via sweep: when an op starts, every
+  // currently-open op overlaps it).
+  {
+    // Sort ops by start; maintain a min-heap of open ends.
+    std::vector<const Interval*> by_start;
+    by_start.reserve(ops.size());
+    for (const Interval& op : ops) by_start.push_back(&op);
+    std::sort(by_start.begin(), by_start.end(),
+              [](const Interval* a, const Interval* b) {
+                return a->start < b->start;
+              });
+    std::vector<std::uint64_t> open_ends;  // min-heap by end
+    auto cmp = std::greater<>{};
+    for (const Interval* op : by_start) {
+      while (!open_ends.empty() && open_ends.front() < op->start) {
+        std::pop_heap(open_ends.begin(), open_ends.end(), cmp);
+        open_ends.pop_back();
+      }
+      stats.overlapping_pairs += open_ends.size();
+      open_ends.push_back(op->end);
+      std::push_heap(open_ends.begin(), open_ends.end(), cmp);
+    }
+  }
+
+  // Contended reads: reads overlapping >= 1 write.
+  {
+    std::vector<const Interval*> write_ops;
+    for (const Interval& op : ops) {
+      if (!op.is_read) write_ops.push_back(&op);
+    }
+    std::sort(write_ops.begin(), write_ops.end(),
+              [](const Interval* a, const Interval* b) {
+                return a->start < b->start;
+              });
+    std::vector<std::uint64_t> write_starts;
+    std::vector<std::uint64_t> max_end_prefix;
+    write_starts.reserve(write_ops.size());
+    std::uint64_t running = 0;
+    for (const Interval* w : write_ops) {
+      write_starts.push_back(w->start);
+      running = std::max(running, w->end);
+      max_end_prefix.push_back(running);
+    }
+    for (const ReadRec& r : h.reads) {
+      // Overlap iff some write has start <= r.end and end >= r.start.
+      auto it = std::upper_bound(write_starts.begin(), write_starts.end(),
+                                 r.end);
+      const std::size_t count =
+          static_cast<std::size_t>(std::distance(write_starts.begin(), it));
+      if (count > 0 && max_end_prefix[count - 1] >= r.start) {
+        ++stats.contended_reads;
+      }
+    }
+  }
+  return stats;
+}
+
+std::string HistoryStats::summary() const {
+  std::ostringstream os;
+  os << writes << " writes (" << pending_writes << " pending), " << reads
+     << " reads; max concurrency " << max_concurrency << ", mean "
+     << mean_concurrency << ", overlapping pairs " << overlapping_pairs
+     << ", contended reads " << contended_reads;
+  return os.str();
+}
+
+}  // namespace compreg::lin

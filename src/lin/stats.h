@@ -1,0 +1,36 @@
+// History statistics: how concurrent was an execution, actually?
+//
+// A clean checker verdict on a history with no overlap proves little.
+// These metrics quantify the stress a workload achieved — maximum and
+// mean concurrency degree, overlapping operation pairs, reads that
+// overlap at least one write — so tests and the fuzz driver can assert
+// their schedules are genuinely adversarial, not accidentally serial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lin/history.h"
+
+namespace compreg::lin {
+
+struct HistoryStats {
+  std::size_t writes = 0;
+  std::size_t reads = 0;
+  std::size_t pending_writes = 0;
+
+  // Maximum number of operations in flight at one instant.
+  std::size_t max_concurrency = 0;
+  // Mean in-flight operations, averaged over event points.
+  double mean_concurrency = 0.0;
+  // Pairs of operations whose intervals overlap.
+  std::uint64_t overlapping_pairs = 0;
+  // Reads overlapping at least one write (the interesting reads).
+  std::size_t contended_reads = 0;
+
+  std::string summary() const;
+};
+
+HistoryStats compute_stats(const History& h);
+
+}  // namespace compreg::lin

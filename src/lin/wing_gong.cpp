@@ -1,0 +1,109 @@
+#include "lin/wing_gong.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace compreg::lin {
+namespace {
+
+struct Op {
+  bool is_write = false;
+  int component = 0;                  // writes
+  std::uint64_t value = 0;            // writes
+  std::vector<std::uint64_t> values;  // reads
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+struct Searcher {
+  const History& h;
+  std::vector<Op> ops;
+  // Memo of (applied mask, component state) configurations proven dead.
+  // Exact keys, not hashes: a false "dead" would silently reject a
+  // linearizable history.
+  std::set<std::vector<std::uint64_t>> dead;
+
+  explicit Searcher(const History& hist) : h(hist) {
+    for (const WriteRec& w : h.writes) {
+      Op op;
+      op.is_write = true;
+      op.component = w.component;
+      op.value = w.value;
+      op.start = w.start;
+      op.end = w.end;
+      ops.push_back(std::move(op));
+    }
+    for (const ReadRec& r : h.reads) {
+      Op op;
+      op.is_write = false;
+      op.values = r.values;
+      op.start = r.start;
+      op.end = r.end;
+      ops.push_back(std::move(op));
+    }
+  }
+
+  static std::vector<std::uint64_t> key(
+      std::uint32_t mask, const std::vector<std::uint64_t>& state) {
+    std::vector<std::uint64_t> k;
+    k.reserve(state.size() + 1);
+    k.push_back(mask);
+    k.insert(k.end(), state.begin(), state.end());
+    return k;
+  }
+
+  // Op i may linearize next iff every op that really precedes it is
+  // already applied.
+  bool eligible(std::size_t i, std::uint32_t mask) const {
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      if ((mask >> j) & 1u) continue;
+      if (j != i && ops[j].end < ops[i].start) return false;
+    }
+    return true;
+  }
+
+  bool dfs(std::uint32_t mask, std::vector<std::uint64_t>& state) {
+    if (mask == (ops.size() == 32 ? ~0u
+                                  : ((1u << ops.size()) - 1u))) {
+      return true;
+    }
+    const std::vector<std::uint64_t> k = key(mask, state);
+    if (dead.contains(k)) return false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if ((mask >> i) & 1u) continue;
+      if (!eligible(i, mask)) continue;
+      const Op& op = ops[i];
+      if (op.is_write) {
+        const std::size_t c = static_cast<std::size_t>(op.component);
+        const std::uint64_t saved = state[c];
+        state[c] = op.value;
+        if (dfs(mask | (1u << i), state)) return true;
+        state[c] = saved;
+      } else {
+        if (std::equal(op.values.begin(), op.values.end(), state.begin())) {
+          if (dfs(mask | (1u << i), state)) return true;
+        }
+      }
+    }
+    dead.insert(k);
+    return false;
+  }
+};
+
+}  // namespace
+
+CheckResult check_wing_gong(const History& h, std::size_t max_ops) {
+  COMPREG_CHECK(h.size() <= max_ops && h.size() < 32,
+                "history too large for the exhaustive checker (%zu ops)",
+                h.size());
+  Searcher search(h);
+  std::vector<std::uint64_t> state = h.initial;
+  if (search.dfs(0, state)) return CheckResult{};
+  return CheckResult{false, "no linearization exists (Wing-Gong search)"};
+}
+
+}  // namespace compreg::lin

@@ -1,0 +1,23 @@
+// Wing & Gong-style linearizability checker for snapshot semantics.
+//
+// Independent oracle: searches for a legal linearization of a recorded
+// history using only real-time intervals and *values* (never the
+// auxiliary ids the Shrinking Lemma checker consumes), so it
+// cross-validates that checker from first principles. Exponential in
+// history size — intended for histories of up to ~18 operations, which
+// is what the simulator's bounded-exhaustive scenarios produce.
+//
+// Sequential specification: a Write(k, v) sets component k to v; a Read
+// returns the current value of every component.
+#pragma once
+
+#include "lin/history.h"
+#include "lin/shrinking_checker.h"  // CheckResult
+
+namespace compreg::lin {
+
+// Returns ok iff some linearization exists. `max_ops` guards against
+// accidentally feeding a large history (panics above it).
+CheckResult check_wing_gong(const History& h, std::size_t max_ops = 24);
+
+}  // namespace compreg::lin

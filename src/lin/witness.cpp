@@ -1,0 +1,156 @@
+#include "lin/witness.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace compreg::lin {
+namespace {
+
+struct Node {
+  bool is_write;
+  std::size_t index;        // into h.writes / h.reads
+  int component;            // writes only
+  std::uint64_t id;         // writes: phi; reads: unused
+  std::uint64_t start;
+  std::uint64_t end;
+};
+
+}  // namespace
+
+Witness build_linearization(const History& h) {
+  Witness out;
+  const std::size_t cu = static_cast<std::size_t>(h.components);
+
+  std::vector<Node> nodes;
+  nodes.reserve(h.size());
+  for (std::size_t i = 0; i < h.writes.size(); ++i) {
+    const WriteRec& w = h.writes[i];
+    nodes.push_back(Node{true, i, w.component, w.id, w.start, w.end});
+  }
+  for (std::size_t i = 0; i < h.reads.size(); ++i) {
+    const ReadRec& r = h.reads[i];
+    nodes.push_back(Node{false, i, -1, 0, r.start, r.end});
+  }
+  const std::size_t n = nodes.size();
+
+  // Adjacency via a dense edge matrix would be O(n^2) memory; use
+  // in-degree counting with an explicit edge list (n is test-scale).
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  std::vector<std::uint32_t> indeg(n, 0);
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    succ[a].push_back(static_cast<std::uint32_t>(b));
+    ++indeg[b];
+  };
+
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const Node& x = nodes[a];
+      const Node& y = nodes[b];
+      // Relation A: real-time precedence.
+      if (x.end != kPendingEnd && x.end < y.start) {
+        add_edge(a, b);
+        continue;
+      }
+      if (x.is_write && y.is_write) {
+        // Per-component write order (Uniqueness).
+        if (x.component == y.component && x.id < y.id) add_edge(a, b);
+      } else if (x.is_write && !y.is_write) {
+        // Relation B: w before r iff phi_k(w) <= phi_k(r).
+        const ReadRec& r = h.reads[y.index];
+        if (x.id <= r.ids[static_cast<std::size_t>(x.component)]) {
+          add_edge(a, b);
+        }
+      } else if (!x.is_write && y.is_write) {
+        // Relation B: r before w iff phi_k(r) < phi_k(w).
+        const ReadRec& r = h.reads[x.index];
+        if (r.ids[static_cast<std::size_t>(y.component)] < y.id) {
+          add_edge(a, b);
+        }
+      } else {
+        // Relation C: r before s iff phi(r) < phi(s) in some component
+        // (Read Precedence makes this consistent).
+        const ReadRec& r = h.reads[x.index];
+        const ReadRec& s = h.reads[y.index];
+        bool lt = false;
+        for (std::size_t k = 0; k < cu; ++k) {
+          if (r.ids[k] < s.ids[k]) {
+            lt = true;
+            break;
+          }
+        }
+        if (lt) add_edge(a, b);
+      }
+    }
+  }
+
+  // Kahn's algorithm; deterministic tie-break by (start, index).
+  auto later = [&](std::size_t a, std::size_t b) {
+    return nodes[a].start != nodes[b].start ? nodes[a].start > nodes[b].start
+                                            : a > b;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(later)>
+      ready(later);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push(i);
+  }
+  out.order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t i = ready.top();
+    ready.pop();
+    out.order.push_back(WitnessOp{nodes[i].is_write, nodes[i].index});
+    for (std::uint32_t j : succ[i]) {
+      if (--indeg[j] == 0) ready.push(j);
+    }
+  }
+  if (out.order.size() != n) {
+    out.ok = false;
+    out.error = "cycle in the derived precedence relation (history is not "
+                "Shrinking-Lemma clean)";
+    out.order.clear();
+    return out;
+  }
+
+  const CheckResult replay = validate_linearization(h, out.order);
+  out.ok = replay.ok;
+  out.error = replay.violation;
+  if (!out.ok) out.order.clear();
+  return out;
+}
+
+CheckResult validate_linearization(const History& h,
+                                   const std::vector<WitnessOp>& order) {
+  if (order.size() != h.size()) {
+    return CheckResult{false, "witness length mismatch"};
+  }
+  std::vector<std::uint64_t> state = h.initial;
+  std::vector<bool> seen_write(h.writes.size(), false);
+  std::vector<bool> seen_read(h.reads.size(), false);
+  for (const WitnessOp& op : order) {
+    if (op.is_write) {
+      if (op.index >= h.writes.size() || seen_write[op.index]) {
+        return CheckResult{false, "witness repeats or invents a write"};
+      }
+      seen_write[op.index] = true;
+      const WriteRec& w = h.writes[op.index];
+      state[static_cast<std::size_t>(w.component)] = w.value;
+    } else {
+      if (op.index >= h.reads.size() || seen_read[op.index]) {
+        return CheckResult{false, "witness repeats or invents a read"};
+      }
+      seen_read[op.index] = true;
+      const ReadRec& r = h.reads[op.index];
+      for (std::size_t k = 0; k < state.size(); ++k) {
+        if (r.values[k] != state[k]) {
+          return CheckResult{
+              false, "replay mismatch: a Read's output differs from the "
+                     "sequential state at its linearization point"};
+        }
+      }
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace compreg::lin

@@ -1,0 +1,53 @@
+// Linearization witnesses: turn a Shrinking-Lemma-clean history into an
+// explicit total order and validate it by sequential replay.
+//
+// The Shrinking Lemma (paper Section 3 + appendix) proves a history
+// linearizable by building a partial order F = A u B u C u D u E over
+// operations and extending it to a total order. This module performs
+// that construction concretely:
+//
+//   * edges: real-time precedence (relation A), write-before-read /
+//     read-before-write edges derived from the phi values (relation B),
+//     read-read edges (relation C), and per-component write id order;
+//   * topological sort => the witness;
+//   * validation: replay the witness against the sequential snapshot
+//     specification — every Read must return exactly the current value
+//     of every component.
+//
+// A cycle (impossible when the five conditions hold — that is the
+// lemma's content) or a failed replay is reported, making this an
+// end-to-end executable version of the paper's appendix proof.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lin/history.h"
+#include "lin/shrinking_checker.h"  // CheckResult
+
+namespace compreg::lin {
+
+struct WitnessOp {
+  bool is_write = false;
+  // Writes: index into history.writes; reads: index into history.reads.
+  std::size_t index = 0;
+};
+
+struct Witness {
+  bool ok = false;
+  std::string error;      // set when !ok (cycle / replay mismatch)
+  std::vector<WitnessOp> order;
+};
+
+// Builds and validates a linearization witness. Pending writes
+// (end == kPendingEnd) participate like ordinary writes.
+Witness build_linearization(const History& h);
+
+// Replays `order` against the sequential specification; returns ok iff
+// every Read matches. Exposed separately so tests can validate foreign
+// orders.
+CheckResult validate_linearization(const History& h,
+                                   const std::vector<WitnessOp>& order);
+
+}  // namespace compreg::lin

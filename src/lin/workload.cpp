@@ -1,0 +1,171 @@
+#include "lin/workload.h"
+
+#include <thread>
+#include <vector>
+
+#include "sched/schedule_point.h"
+#include "sched/sim_scheduler.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+
+namespace compreg::lin {
+namespace {
+
+void writer_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
+                 int component, const WorkloadConfig& cfg) {
+  for (int i = 1; i <= cfg.writes_per_writer; ++i) {
+    const std::uint64_t value =
+        write_value(component, static_cast<std::uint64_t>(i));
+    WriteRec w;
+    w.component = component;
+    w.value = value;
+    w.proc = component;
+    w.start = rec.clock().tick();
+    w.id = snap.update(component, value);
+    w.end = rec.clock().tick();
+    rec.record_write(component, w);
+    if (cfg.burst > 0 && i % cfg.burst == 0) {
+      for (unsigned spin = 0; spin < cfg.pause_spins; ++spin) {
+        asm volatile("" ::: "memory");  // quiet gap the optimizer keeps
+      }
+    }
+  }
+}
+
+void reader_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
+                 int reader, int scans) {
+  const int proc = snap.components() + reader;
+  std::vector<core::Item<std::uint64_t>> items;
+  for (int i = 0; i < scans; ++i) {
+    ReadRec r;
+    r.proc = proc;
+    r.start = rec.clock().tick();
+    snap.scan_items(reader, items);
+    r.end = rec.clock().tick();
+    r.ids.resize(items.size());
+    r.values.resize(items.size());
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      r.ids[k] = items[k].id;
+      r.values[k] = items[k].val;
+    }
+    rec.record_read(proc, r);
+  }
+}
+
+}  // namespace
+
+History run_native_workload(core::Snapshot<std::uint64_t>& snap,
+                            const WorkloadConfig& cfg) {
+  const int c = snap.components();
+  const int r = snap.readers();
+  HistoryRecorder rec(c, std::vector<std::uint64_t>(
+                             static_cast<std::size_t>(c), cfg.initial),
+                      c + r);
+  SpinBarrier barrier(c + r);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(c + r));
+  for (int k = 0; k < c; ++k) {
+    threads.emplace_back([&, k] {
+      sched::StressInterleaving stress(cfg.stress_permille,
+                                       cfg.seed * 1315423911u +
+                                           static_cast<std::uint64_t>(k));
+      barrier.arrive_and_wait();
+      writer_body(snap, rec, k, cfg);
+    });
+  }
+  for (int j = 0; j < r; ++j) {
+    threads.emplace_back([&, j] {
+      sched::StressInterleaving stress(cfg.stress_permille,
+                                       cfg.seed * 2654435761u + 1000003u +
+                                           static_cast<std::uint64_t>(j));
+      barrier.arrive_and_wait();
+      reader_body(snap, rec, j, cfg.scans_per_reader);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return rec.merge();
+}
+
+History run_sim_workload(core::Snapshot<std::uint64_t>& snap,
+                         sched::SchedulePolicy& policy,
+                         const WorkloadConfig& cfg) {
+  const int c = snap.components();
+  const int r = snap.readers();
+  HistoryRecorder rec(c, std::vector<std::uint64_t>(
+                             static_cast<std::size_t>(c), cfg.initial),
+                      c + r);
+  sched::SimScheduler sim(policy);
+  for (int k = 0; k < c; ++k) {
+    sim.spawn([&, k] { writer_body(snap, rec, k, cfg); });
+  }
+  for (int j = 0; j < r; ++j) {
+    sim.spawn([&, j] { reader_body(snap, rec, j, cfg.scans_per_reader); });
+  }
+  sim.run();
+  return rec.merge();
+}
+
+History run_native_workload_mw(core::MultiWriterSnapshot<std::uint64_t>& snap,
+                               const MwWorkloadConfig& cfg) {
+  const int m = snap.components();
+  const int n = snap.processes();
+  const int r = snap.readers() > 0 ? snap.readers() : 1;
+  HistoryRecorder rec(m, std::vector<std::uint64_t>(
+                             static_cast<std::size_t>(m), cfg.initial),
+                      n + r);
+  SpinBarrier barrier(n + r);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n + r));
+  for (int p = 0; p < n; ++p) {
+    threads.emplace_back([&, p] {
+      sched::StressInterleaving stress(cfg.stress_permille,
+                                       cfg.seed * 40503u +
+                                           static_cast<std::uint64_t>(p));
+      Rng rng(cfg.seed ^ (static_cast<std::uint64_t>(p) << 32));
+      barrier.arrive_and_wait();
+      for (int i = 1; i <= cfg.writes_per_process; ++i) {
+        const int k = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(m)));
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(p + 1) << 48) |
+            (static_cast<std::uint64_t>(k + 1) << 32) |
+            static_cast<std::uint64_t>(i);
+        WriteRec w;
+        w.component = k;
+        w.value = value;
+        w.proc = p;
+        w.start = rec.clock().tick();
+        w.id = snap.update(p, k, value);
+        w.end = rec.clock().tick();
+        rec.record_write(p, w);
+      }
+    });
+  }
+  for (int j = 0; j < r; ++j) {
+    threads.emplace_back([&, j] {
+      sched::StressInterleaving stress(cfg.stress_permille,
+                                       cfg.seed * 104729u + 7u +
+                                           static_cast<std::uint64_t>(j));
+      std::vector<core::Item<std::uint64_t>> items;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < cfg.scans_per_reader; ++i) {
+        ReadRec rr;
+        rr.proc = n + j;
+        rr.start = rec.clock().tick();
+        snap.scan_items(j, items);
+        rr.end = rec.clock().tick();
+        rr.ids.resize(items.size());
+        rr.values.resize(items.size());
+        for (std::size_t k = 0; k < items.size(); ++k) {
+          rr.ids[k] = items[k].id;
+          rr.values[k] = items[k].val;
+        }
+        rec.record_read(n + j, rr);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return rec.merge();
+}
+
+}  // namespace compreg::lin

@@ -1,0 +1,58 @@
+// Workload drivers: run concurrent Read/Write traffic against any
+// Snapshot implementation and record the history for the checkers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/multi_writer.h"
+#include "core/snapshot.h"
+#include "lin/history.h"
+#include "sched/policy.h"
+
+namespace compreg::lin {
+
+struct WorkloadConfig {
+  int writes_per_writer = 100;
+  int scans_per_reader = 100;
+  std::uint64_t initial = 0;
+  // Native-threads mode: per-mille probability of a yield at every
+  // schedule point, to diversify interleavings (0 = free-running).
+  unsigned stress_permille = 0;
+  // Bursty writers: after every `burst` writes, spin for `pause_spins`
+  // iterations. Quiet gaps exercise the statement-8 cases the helping
+  // path does not cover (and vice versa). 0 = continuous.
+  int burst = 0;
+  unsigned pause_spins = 0;
+  std::uint64_t seed = 1;
+};
+
+// Encodes a unique, self-describing value for write i of component k.
+inline std::uint64_t write_value(int component, std::uint64_t i) {
+  return (static_cast<std::uint64_t>(component + 1) << 32) | i;
+}
+
+// One writer thread per component plus one thread per reader slot,
+// free-running on native threads.
+History run_native_workload(core::Snapshot<std::uint64_t>& snap,
+                            const WorkloadConfig& cfg);
+
+// Same process structure under the deterministic simulator; the policy
+// decides every step. The entire execution is serialized, so this is
+// for schedule-sensitive verification rather than throughput.
+History run_sim_workload(core::Snapshot<std::uint64_t>& snap,
+                         sched::SchedulePolicy& policy,
+                         const WorkloadConfig& cfg);
+
+struct MwWorkloadConfig {
+  int writes_per_process = 50;
+  int scans_per_reader = 50;
+  std::uint64_t initial = 0;
+  unsigned stress_permille = 0;
+  std::uint64_t seed = 1;
+};
+
+// Multi-writer driver: every process writes random components.
+History run_native_workload_mw(core::MultiWriterSnapshot<std::uint64_t>& snap,
+                               const MwWorkloadConfig& cfg);
+
+}  // namespace compreg::lin

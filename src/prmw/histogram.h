@@ -1,0 +1,90 @@
+// Histogram: fixed-bucket latency/size histogram as a PRMW object —
+// per-bucket counting is elementwise addition, which is commutative, so
+// the whole histogram falls inside the wait-free-implementable class of
+// [6,7]. Readers obtain the ENTIRE histogram at one instant, so derived
+// statistics (quantiles, totals) are mutually consistent — unlike
+// per-bucket atomic counters, where a quantile computed during a burst
+// can be nonsense.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "prmw/prmw.h"
+#include "util/assert.h"
+
+namespace compreg::prmw {
+
+template <std::size_t Buckets>
+struct BucketAddOp {
+  using value_type = std::array<std::int64_t, Buckets>;
+  static value_type identity() { return value_type{}; }
+  static value_type combine(const value_type& a, const value_type& b) {
+    value_type out;
+    for (std::size_t i = 0; i < Buckets; ++i) out[i] = a[i] + b[i];
+    return out;
+  }
+};
+
+template <std::size_t Buckets>
+class Histogram {
+ public:
+  using Counts = std::array<std::int64_t, Buckets>;
+
+  // `upper_bounds[i]` is the inclusive upper bound of bucket i; the
+  // last bucket catches everything above. Bounds must be increasing.
+  Histogram(int processes, int readers,
+            const std::array<std::int64_t, Buckets - 1>& upper_bounds)
+      : obj_(make_prmw<BucketAddOp<Buckets>>(processes, readers)),
+        bounds_(upper_bounds) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      COMPREG_CHECK(bounds_[i - 1] < bounds_[i],
+                    "bucket bounds must increase");
+    }
+  }
+
+  // Wait-free record by `process`: one component write.
+  void record(int process, std::int64_t sample) {
+    Counts delta{};
+    delta[bucket_for(sample)] = 1;
+    obj_.apply(process, delta);
+  }
+
+  // Atomic snapshot of all buckets.
+  Counts snapshot(int reader_id) { return obj_.read(reader_id); }
+
+  std::int64_t total(int reader_id) {
+    const Counts c = snapshot(reader_id);
+    std::int64_t n = 0;
+    for (std::int64_t v : c) n += v;
+    return n;
+  }
+
+  // Smallest bucket index covering quantile q (0..1) of ONE snapshot.
+  std::size_t quantile_bucket(int reader_id, double q) {
+    const Counts c = snapshot(reader_id);
+    std::int64_t n = 0;
+    for (std::int64_t v : c) n += v;
+    if (n == 0) return 0;
+    const double target = q * static_cast<double>(n);
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < Buckets; ++i) {
+      acc += c[i];
+      if (static_cast<double>(acc) >= target) return i;
+    }
+    return Buckets - 1;
+  }
+
+  std::size_t bucket_for(std::int64_t sample) const {
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (sample <= bounds_[i]) return i;
+    }
+    return Buckets - 1;
+  }
+
+ private:
+  PrmwObject<BucketAddOp<Buckets>> obj_;
+  std::array<std::int64_t, Buckets - 1> bounds_;
+};
+
+}  // namespace compreg::prmw

@@ -1,0 +1,10 @@
+// Compilation anchor for the PRMW templates.
+#include "prmw/prmw.h"
+
+namespace compreg::prmw {
+
+template class PrmwObject<AddOp>;
+template class PrmwObject<MaxOp>;
+template class PrmwObject<BitOrOp>;
+
+}  // namespace compreg::prmw

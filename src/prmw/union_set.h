@@ -1,0 +1,45 @@
+// UnionSet: a wait-free grow-only set — set union is a commutative
+// PRMW operation, so it falls inside the class [6,7] prove
+// implementable from composite registers.
+//
+// Elements are drawn from {0..63} (one bit each); membership queries
+// and full-set snapshots are atomic: a contains() that returns true
+// for x and false for y reflects a real instant where exactly that
+// held.
+#pragma once
+
+#include <cstdint>
+
+#include "prmw/prmw.h"
+#include "util/assert.h"
+
+namespace compreg::prmw {
+
+class UnionSet {
+ public:
+  UnionSet(int processes, int readers)
+      : obj_(make_prmw<BitOrOp>(processes, readers)) {}
+
+  // Wait-free insert by `process`.
+  void insert(int process, int element) {
+    COMPREG_DCHECK(element >= 0 && element < 64);
+    obj_.apply(process, std::uint64_t{1} << element);
+  }
+
+  // Atomic snapshot of the whole set as a bit mask.
+  std::uint64_t snapshot_mask(int reader_id) { return obj_.read(reader_id); }
+
+  bool contains(int reader_id, int element) {
+    COMPREG_DCHECK(element >= 0 && element < 64);
+    return (snapshot_mask(reader_id) >> element) & 1u;
+  }
+
+  int size(int reader_id) {
+    return __builtin_popcountll(snapshot_mask(reader_id));
+  }
+
+ private:
+  PrmwObject<BitOrOp> obj_;
+};
+
+}  // namespace compreg::prmw

@@ -1,0 +1,120 @@
+// HazardCell<T>: multi-reader single-writer atomic register for
+// arbitrary payload types — the practical backend for the construction's
+// large Y[0] record.
+//
+// The writer publishes immutable heap nodes through one atomic pointer;
+// readers protect their node with a per-reader hazard slot before
+// dereferencing. Reclamation is bounded and wait-free for the writer
+// (at most readers+1 retired nodes exist; each write scans the hazard
+// slots once). Reads are linearizable (the pointer load is the
+// linearization point) and *lock-free*: a reader retries its
+// protect/verify handshake only when a write lands between its two
+// pointer loads, so every retry is charged to a concurrent write. For
+// a retry-free, strictly wait-free (but slower) cell, see
+// TaggedCell in tagged_cell.h; both satisfy the same register contract
+// the paper's construction assumes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sched/schedule_point.h"
+#include "util/assert.h"
+#include "util/op_counter.h"
+#include "util/space_accounting.h"
+
+namespace compreg::registers {
+
+template <typename T>
+class HazardCell {
+ public:
+  HazardCell(int readers, T initial, const char* label = "cell",
+             std::uint64_t payload_bits = sizeof(T) * 8)
+      : readers_(readers),
+        hazards_(std::make_unique<HazardSlot[]>(
+            static_cast<std::size_t>(readers))) {
+    COMPREG_CHECK(readers >= 1);
+    current_.store(new Node{std::move(initial)},
+                   std::memory_order_relaxed);
+    retired_.reserve(static_cast<std::size_t>(readers) + 1);
+    account_register(label, payload_bits, readers);
+  }
+
+  ~HazardCell() {
+    delete current_.load(std::memory_order_relaxed);
+    for (Node* node : retired_) delete node;
+  }
+
+  HazardCell(const HazardCell&) = delete;
+  HazardCell& operator=(const HazardCell&) = delete;
+
+  int readers() const { return readers_; }
+
+  // reader_id in [0, readers): each concurrent reader must use a
+  // distinct slot (two sequential reads may share one).
+  T read(int reader_id) {
+    COMPREG_DCHECK(reader_id >= 0 && reader_id < readers_);
+    sched::point();
+    ++op_counters().reg_reads;
+    HazardSlot& slot = hazards_[static_cast<std::size_t>(reader_id)];
+    Node* node = current_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slot.ptr.store(node, std::memory_order_seq_cst);
+      Node* check = current_.load(std::memory_order_seq_cst);
+      if (check == node) break;  // protected while still current => safe
+      node = check;
+    }
+    T out = node->value;
+    slot.ptr.store(nullptr, std::memory_order_release);
+    return out;
+  }
+
+  // Single writer.
+  void write(const T& value) {
+    sched::point();
+    ++op_counters().reg_writes;
+    Node* node = new Node{value};
+    Node* old = current_.exchange(node, std::memory_order_seq_cst);
+    retired_.push_back(old);
+    reclaim();
+  }
+
+ private:
+  struct Node {
+    T value;
+  };
+  struct alignas(64) HazardSlot {
+    std::atomic<Node*> ptr{nullptr};
+  };
+
+  void reclaim() {
+    // Writer-private. Keep nodes any reader has protected; free the
+    // rest. |retired_| never exceeds readers_+1 afterwards.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < retired_.size(); ++i) {
+      Node* node = retired_[i];
+      bool protected_ = false;
+      for (int j = 0; j < readers_; ++j) {
+        if (hazards_[static_cast<std::size_t>(j)].ptr.load(
+                std::memory_order_seq_cst) == node) {
+          protected_ = true;
+          break;
+        }
+      }
+      if (protected_) {
+        retired_[keep++] = node;
+      } else {
+        delete node;
+      }
+    }
+    retired_.resize(keep);
+  }
+
+  const int readers_;
+  std::atomic<Node*> current_{nullptr};
+  std::unique_ptr<HazardSlot[]> hazards_;
+  std::vector<Node*> retired_;  // writer-private
+};
+
+}  // namespace compreg::registers

@@ -1,0 +1,21 @@
+// Compile-time form of the paper's Atomicity Restriction (Section 2):
+// "each shared variable is required to be of the same type as the
+// simpler composite register used in the construction" — i.e. the
+// construction may only touch its state through MRSW atomic register
+// operations. The MrswCell concept pins the required surface; the
+// construction static_asserts it for whatever backend it is
+// instantiated with.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace compreg::registers {
+
+template <typename CellT, typename T>
+concept MrswCell = requires(CellT cell, const T& value, int reader_id) {
+  { cell.read(reader_id) } -> std::convertible_to<T>;
+  { cell.write(value) };
+} && !std::copyable<CellT>;  // registers are places, not values
+
+}  // namespace compreg::registers

@@ -1,0 +1,61 @@
+// Simpson's four-slot fully asynchronous SWSR atomic register.
+//
+// H. R. Simpson, "Four-slot fully asynchronous communication mechanism"
+// (IEE Proceedings, 1990). One writer, one reader, arbitrary payload
+// type, wait-free on both sides with a *constant* number of steps and
+// no dynamic allocation. The four data slots are arranged as 2 pairs x
+// 2 indexes; the control-bit protocol guarantees the reader and writer
+// never touch the same slot concurrently, which is what makes the plain
+// (non-atomic) payload copies safe.
+//
+// Used as the leaf register of the strictly wait-free TaggedCell
+// (MRSW-from-SWSR construction) and available on its own. Note this is
+// a *building block* below the MRSW model granularity: it does not
+// count toward op_counters() and does not take schedule points; the
+// cells built from it do.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace compreg::registers {
+
+template <typename T>
+class SimpsonRegister {
+ public:
+  explicit SimpsonRegister(const T& initial) {
+    for (auto& pair : data_) {
+      for (auto& slot : pair) slot = initial;
+    }
+  }
+
+  SimpsonRegister(const SimpsonRegister&) = delete;
+  SimpsonRegister& operator=(const SimpsonRegister&) = delete;
+
+  // Single writer.
+  void write(const T& item) {
+    const std::uint8_t wp =
+        1 - reading_.load(std::memory_order_seq_cst);           // avoid reader
+    const std::uint8_t wi =
+        1 - slot_[wp].load(std::memory_order_seq_cst);          // avoid last
+    data_[wp][wi] = item;                                       // plain copy
+    slot_[wp].store(wi, std::memory_order_seq_cst);
+    latest_.store(wp, std::memory_order_seq_cst);
+  }
+
+  // Single reader.
+  T read() {
+    const std::uint8_t rp = latest_.load(std::memory_order_seq_cst);
+    reading_.store(rp, std::memory_order_seq_cst);
+    const std::uint8_t ri = slot_[rp].load(std::memory_order_seq_cst);
+    return data_[rp][ri];                                       // plain copy
+  }
+
+ private:
+  T data_[2][2];
+  std::atomic<std::uint8_t> latest_{0};   // written by writer
+  std::atomic<std::uint8_t> reading_{0};  // written by reader
+  std::atomic<std::uint8_t> slot_[2]{0, 0};  // written by writer
+};
+
+}  // namespace compreg::registers

@@ -1,0 +1,51 @@
+#include "sched/exhaustive.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace compreg::sched {
+
+ExploreStats explore(const Scenario& scenario, int max_depth,
+                     std::uint64_t max_schedules) {
+  COMPREG_CHECK(max_depth >= 0);
+  ExploreStats stats;
+  std::vector<std::uint32_t> prefix;
+
+  for (;;) {
+    if (stats.schedules >= max_schedules) {
+      stats.exhausted = false;
+      return stats;
+    }
+    ReplayIndexPolicy policy(prefix);
+    SimScheduler sim(policy);
+    std::function<void()> verify = scenario(sim);
+    sim.run();
+    ++stats.schedules;
+    if (verify) verify();
+
+    const std::vector<std::uint32_t>& branching = policy.branching();
+    stats.max_points = std::max<std::uint64_t>(stats.max_points,
+                                               branching.size());
+
+    // Compute the next prefix in lexicographic DFS order: bump the
+    // deepest in-bound position that still has an untried branch.
+    const std::size_t depth =
+        std::min<std::size_t>(static_cast<std::size_t>(max_depth),
+                              branching.size());
+    std::size_t bump = depth;
+    while (bump > 0) {
+      --bump;
+      const std::uint32_t chosen = bump < prefix.size() ? prefix[bump] : 0;
+      if (chosen + 1 < branching[bump]) {
+        prefix.resize(bump + 1, 0);
+        prefix[bump] = chosen + 1;
+        break;
+      }
+      if (bump == 0) return stats;  // fully explored
+    }
+    if (depth == 0) return stats;  // no schedule points at all
+  }
+}
+
+}  // namespace compreg::sched

@@ -1,0 +1,45 @@
+#include "sched/schedule_point.h"
+
+#include <thread>
+
+#include "sched/sim_scheduler.h"
+
+namespace compreg::sched {
+
+ThreadContext& thread_context() {
+  thread_local ThreadContext ctx;
+  return ctx;
+}
+
+void point() {
+  ThreadContext& ctx = thread_context();
+  if (ctx.scheduler != nullptr) {
+    ctx.scheduler->yield_turn(ctx.proc_id);
+    if (ctx.park_after_points != 0 && --ctx.park_after_points == 0) {
+      throw ProcessParked{};
+    }
+  } else if (ctx.stress_yield_permille != 0 &&
+             ctx.stress_rng.chance(ctx.stress_yield_permille, 1000)) {
+    std::this_thread::yield();
+  }
+}
+
+void park_after(std::uint64_t points) {
+  // +1: the budget is decremented after winning the turn for a point,
+  // so "park after N points" means the N-th granted access never
+  // executes.
+  thread_context().park_after_points = points + 1;
+}
+
+StressInterleaving::StressInterleaving(unsigned permille, std::uint64_t seed)
+    : prev_permille_(thread_context().stress_yield_permille) {
+  ThreadContext& ctx = thread_context();
+  ctx.stress_yield_permille = permille;
+  ctx.stress_rng.reseed(seed);
+}
+
+StressInterleaving::~StressInterleaving() {
+  thread_context().stress_yield_permille = prev_permille_;
+}
+
+}  // namespace compreg::sched

@@ -1,0 +1,81 @@
+#include "sched/sim_scheduler.h"
+
+#include "util/assert.h"
+
+namespace compreg::sched {
+
+SimScheduler::~SimScheduler() {
+  for (Proc& proc : procs_) {
+    COMPREG_CHECK(!proc.thread.joinable(),
+                  "SimScheduler destroyed with live processes; run() must "
+                  "complete first");
+  }
+}
+
+int SimScheduler::spawn(std::function<void()> body) {
+  COMPREG_CHECK(!ran_, "spawn() after run()");
+  const int id = static_cast<int>(procs_.size());
+  procs_.emplace_back();
+  procs_.back().body = std::move(body);
+  return id;
+}
+
+void SimScheduler::proc_main(int id) {
+  ThreadContext& ctx = thread_context();
+  ctx.scheduler = this;
+  ctx.proc_id = id;
+  Proc& self = procs_[static_cast<std::size_t>(id)];
+  self.go.acquire();  // first grant: run to the first schedule point
+  try {
+    self.body();
+  } catch (const ProcessParked&) {
+    // Injected halting failure: the process stops here, mid-operation.
+  }
+  self.done = true;
+  control_.release();
+}
+
+void SimScheduler::yield_turn(int proc_id) {
+  control_.release();
+  procs_[static_cast<std::size_t>(proc_id)].go.acquire();
+}
+
+void SimScheduler::run() {
+  COMPREG_CHECK(!ran_, "run() called twice");
+  ran_ = true;
+
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    procs_[i].thread = std::thread(&SimScheduler::proc_main, this,
+                                   static_cast<int>(i));
+  }
+
+  // Arrival phase: let every process reach its first schedule point (or
+  // complete, if it performs no shared access) so that afterwards every
+  // policy grant corresponds to exactly one shared-register access.
+  for (Proc& proc : procs_) {
+    proc.go.release();
+    control_.acquire();
+    proc.started = true;
+  }
+
+  std::vector<int> runnable;
+  for (;;) {
+    runnable.clear();
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      if (!procs_[i].done) runnable.push_back(static_cast<int>(i));
+    }
+    if (runnable.empty()) break;
+    const int pick = policy_.pick(runnable);
+    COMPREG_CHECK(pick >= 0 &&
+                      pick < static_cast<int>(procs_.size()) &&
+                      !procs_[static_cast<std::size_t>(pick)].done,
+                  "policy picked invalid process %d", pick);
+    trace_.push_back(pick);
+    procs_[static_cast<std::size_t>(pick)].go.release();
+    control_.acquire();
+  }
+
+  for (Proc& proc : procs_) proc.thread.join();
+}
+
+}  // namespace compreg::sched

@@ -1,0 +1,69 @@
+// Deterministic cooperative scheduler ("the simulator").
+//
+// Virtual processes are real threads run in strict lockstep: exactly one
+// process executes at a time, and control returns to the scheduler at
+// every sched::point() (i.e., before every shared-register access). A
+// SchedulePolicy chooses which runnable process takes the next step, so
+// an execution is fully determined by (program, policy) — replayable,
+// scriptable (paper Figure 4), and enumerable (BoundedExhaustive).
+//
+// Processes must synchronize only through the library's registers; any
+// other blocking inside a process body would deadlock the lockstep.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sched/schedule_point.h"
+
+namespace compreg::sched {
+
+class SimScheduler {
+ public:
+  explicit SimScheduler(SchedulePolicy& policy) : policy_(policy) {}
+  ~SimScheduler();
+
+  SimScheduler(const SimScheduler&) = delete;
+  SimScheduler& operator=(const SimScheduler&) = delete;
+
+  // Register a virtual process. Must be called before run().
+  // Returns the process id handed to the policy.
+  int spawn(std::function<void()> body);
+
+  // Execute all processes to completion under the policy.
+  void run();
+
+  // The process id chosen at each schedule point, in order. Useful for
+  // asserting that a scripted schedule was actually followed.
+  const std::vector<int>& trace() const { return trace_; }
+
+  // Total schedule points taken.
+  std::uint64_t steps() const { return trace_.size(); }
+
+  // Internal: called from sched::point() on a virtual-process thread.
+  void yield_turn(int proc_id);
+
+ private:
+  struct Proc {
+    std::function<void()> body;
+    std::binary_semaphore go{0};
+    std::thread thread;
+    bool done = false;       // written by proc thread while it holds the turn
+    bool started = false;
+  };
+
+  void proc_main(int id);
+
+  SchedulePolicy& policy_;
+  std::deque<Proc> procs_;  // deque: semaphores are immovable
+  std::binary_semaphore control_{0};
+  std::vector<int> trace_;
+  bool ran_ = false;
+};
+
+}  // namespace compreg::sched

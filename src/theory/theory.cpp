@@ -1,0 +1,15 @@
+#include "theory/chain.h"
+
+namespace compreg::theory {
+
+TheoryOps& theory_ops() {
+  thread_local TheoryOps ops;
+  return ops;
+}
+
+// Compilation anchors.
+template class SimRegularRegister<int>;
+template class AtomicSwsr<int>;
+template class AtomicMrswFromSwsr<int>;
+
+}  // namespace compreg::theory

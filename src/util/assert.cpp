@@ -1,0 +1,34 @@
+#include "util/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace compreg {
+
+void panic(const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "%s:%d: ", file, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+void panic_check(const char* file, int line, const char* cond_str,
+                 const char* fmt, ...) {
+  std::fprintf(stderr, "%s:%d: check failed: %s", file, line, cond_str);
+  if (fmt != nullptr && fmt[0] != '\0') {
+    std::fprintf(stderr, ": ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace compreg

@@ -1,0 +1,42 @@
+// Always-on and debug-only invariant checks.
+//
+// The library is a reproduction of a correctness-critical algorithm, so
+// invariant violations abort loudly rather than limp along; COMPREG_CHECK
+// stays enabled in release builds (its cost is a predicted-true branch),
+// while COMPREG_DCHECK compiles away outside debug builds.
+#pragma once
+
+#include <cstdarg>
+
+namespace compreg {
+
+// Prints "file:line: message" to stderr and aborts. Used by the check
+// macros; callable directly for unreachable-code guards.
+[[noreturn]] void panic(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+// Prints "file:line: check failed: cond_str: message" and aborts.
+[[noreturn]] void panic_check(const char* file, int line,
+                              const char* cond_str, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace compreg
+
+#define COMPREG_CHECK(cond, ...)                                     \
+  do {                                                               \
+    if (!(cond)) [[unlikely]] {                                      \
+      ::compreg::panic_check(__FILE__, __LINE__, #cond,              \
+                             "" __VA_ARGS__);                        \
+    }                                                                \
+  } while (0)
+
+#ifndef NDEBUG
+#define COMPREG_DCHECK(cond, ...) COMPREG_CHECK(cond, ##__VA_ARGS__)
+#else
+#define COMPREG_DCHECK(cond, ...) \
+  do {                            \
+  } while (0)
+#endif
+
+#define COMPREG_UNREACHABLE(msg) \
+  ::compreg::panic(__FILE__, __LINE__, "unreachable: %s", msg)

@@ -1,0 +1,33 @@
+// Spin barrier for benchmark start-line alignment. std::barrier blocks
+// in the kernel; benches want all threads released in the same few
+// cycles so contention is actually exercised.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace compreg {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        // spin
+      }
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace compreg

@@ -1,0 +1,10 @@
+#include "util/op_counter.h"
+
+namespace compreg {
+
+OpCounters& op_counters() {
+  thread_local OpCounters counters;
+  return counters;
+}
+
+}  // namespace compreg

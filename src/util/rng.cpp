@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include "util/assert.h"
+
+namespace compreg {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  COMPREG_DCHECK(bound != 0);
+  // Lemire-style rejection-free would be fine; rejection sampling keeps
+  // the distribution exactly uniform and is simple.
+  const std::uint64_t threshold = (~std::uint64_t{0} - bound + 1) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  COMPREG_DCHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t off = span == 0 ? (*this)() : below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  COMPREG_DCHECK(den != 0);
+  return below(den) < num;
+}
+
+}  // namespace compreg

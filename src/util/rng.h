@@ -1,0 +1,69 @@
+// Deterministic, fast pseudo-random generators used by schedulers,
+// workload generators and property tests. Determinism matters more than
+// statistical strength here: a failing schedule must be reproducible
+// from its seed alone, so nothing in the library uses std::random_device
+// or global RNG state.
+#pragma once
+
+#include <cstdint>
+
+namespace compreg {
+
+// SplitMix64: used to expand a user seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: small, fast, and good enough for schedule/workload
+// generation. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedc0ffee150badull) {
+    reseed(seed);
+  }
+
+  constexpr void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be nonzero. Uses rejection
+  // sampling so small bounds are exactly uniform.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform value in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace compreg

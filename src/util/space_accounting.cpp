@@ -1,0 +1,56 @@
+#include "util/space_accounting.h"
+
+#include <map>
+
+namespace compreg {
+
+std::uint64_t SpaceAccountant::total_registers() const {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) n += rec.count;
+  return n;
+}
+
+std::uint64_t SpaceAccountant::total_bits() const {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) n += rec.count * rec.bits;
+  return n;
+}
+
+std::uint64_t SpaceAccountant::model_swsr_bits() const {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) {
+    const std::uint64_t r = static_cast<std::uint64_t>(rec.readers);
+    const std::uint64_t per =
+        rec.readers > 1 ? r * r + rec.bits * r : rec.bits;
+    n += rec.count * per;
+  }
+  return n;
+}
+
+std::vector<SpaceAccountant::Rollup> SpaceAccountant::rollup() const {
+  std::map<std::string, Rollup> by_label;
+  for (const auto& rec : records_) {
+    Rollup& roll = by_label[rec.label];
+    roll.label = rec.label;
+    roll.registers += rec.count;
+    roll.bits += rec.count * rec.bits;
+  }
+  std::vector<Rollup> out;
+  out.reserve(by_label.size());
+  for (auto& [label, roll] : by_label) out.push_back(std::move(roll));
+  return out;
+}
+
+SpaceAccountant*& current_space_accountant() {
+  thread_local SpaceAccountant* acct = nullptr;
+  return acct;
+}
+
+void account_register(const char* label, std::uint64_t bits, int readers,
+                      std::uint64_t count) {
+  if (SpaceAccountant* acct = current_space_accountant()) {
+    acct->add(RegisterRecord{label, bits, readers, count});
+  }
+}
+
+}  // namespace compreg

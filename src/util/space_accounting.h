@@ -1,0 +1,83 @@
+// Space accounting for the paper's S(C,B,W,R) analysis.
+//
+// Section 4.1 counts the shared single-reader single-writer atomic bits
+// a construction needs:
+//   S(C,B,1,R) = O(R^2 + C*B*R) + S(C-1,B,1,R+1)
+//             => O(C*R^2 + C^2*B*R + C^3*B).
+// We account at two levels:
+//  * what we actually allocate: one entry per MRSW register, with its
+//    payload width in bits and reader count;
+//  * the paper's model: the cited costs of building each MRSW register
+//    from SWSR bits — S1(B,R) = R^2 + B*R for R > 1 (Singh-Anderson-
+//    Gouda [26]) and S1(B,1) = B (Tromp [27]) — folded over the same
+//    inventory. The bench compares the folded model against the closed
+//    form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compreg {
+
+struct RegisterRecord {
+  std::string label;       // e.g. "Y0", "Z", "item"
+  std::uint64_t bits = 0;  // payload width (auxiliary id fields excluded)
+  int readers = 1;         // number of potential readers
+  std::uint64_t count = 1; // identical registers allocated
+};
+
+// Collects the shared-register inventory of one constructed object.
+// Construction-time only (not thread-safe; registers record themselves
+// in their constructors, which run on one thread).
+class SpaceAccountant {
+ public:
+  void add(RegisterRecord rec) { records_.push_back(std::move(rec)); }
+
+  const std::vector<RegisterRecord>& records() const { return records_; }
+
+  // Total MRSW registers and total payload bits actually allocated.
+  std::uint64_t total_registers() const;
+  std::uint64_t total_bits() const;
+
+  // Paper-model SWSR bit count: each MRSW register of width B with R
+  // readers costs R^2 + B*R SWSR bits (R > 1) or B bits (R == 1),
+  // following the constructions of [26] and [27] cited in Section 4.1.
+  std::uint64_t model_swsr_bits() const;
+
+  // Per-label roll-up, for bench tables.
+  struct Rollup {
+    std::string label;
+    std::uint64_t registers = 0;
+    std::uint64_t bits = 0;
+  };
+  std::vector<Rollup> rollup() const;
+
+ private:
+  std::vector<RegisterRecord> records_;
+};
+
+// The accountant new registers report to, or nullptr (accounting off).
+// Scoped: constructions install an accountant around their constructor.
+SpaceAccountant*& current_space_accountant();
+
+class ScopedSpaceAccounting {
+ public:
+  explicit ScopedSpaceAccounting(SpaceAccountant& acct)
+      : prev_(current_space_accountant()) {
+    current_space_accountant() = &acct;
+  }
+  ~ScopedSpaceAccounting() { current_space_accountant() = prev_; }
+
+  ScopedSpaceAccounting(const ScopedSpaceAccounting&) = delete;
+  ScopedSpaceAccounting& operator=(const ScopedSpaceAccounting&) = delete;
+
+ private:
+  SpaceAccountant* prev_;
+};
+
+// Called by register constructors.
+void account_register(const char* label, std::uint64_t bits, int readers,
+                      std::uint64_t count = 1);
+
+}  // namespace compreg

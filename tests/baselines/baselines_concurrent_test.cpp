@@ -1,0 +1,106 @@
+// Concurrent linearizability for every baseline, via the Shrinking
+// Lemma checker on recorded histories (the checker is implementation-
+// agnostic: it only needs per-component write ids, which every
+// implementation provides).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "baselines/afek_snapshot.h"
+#include "baselines/double_collect.h"
+#include "baselines/mutex_snapshot.h"
+#include "baselines/seqlock_snapshot.h"
+#include "baselines/unbounded_helping.h"
+#include "core/snapshot.h"
+#include "lin/shrinking_checker.h"
+#include "lin/workload.h"
+
+namespace compreg {
+namespace {
+
+using Factory = std::function<std::unique_ptr<core::Snapshot<std::uint64_t>>(
+    int components, int readers, std::uint64_t initial)>;
+
+struct Case {
+  const char* name;
+  Factory make;
+};
+
+class BaselineConcurrentTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BaselineConcurrentTest, FreeRunningHistoryLinearizable) {
+  auto snap = GetParam().make(3, 2, 0);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 800;
+  cfg.scans_per_reader = 800;
+  cfg.seed = 11;
+  const lin::History h = lin::run_native_workload(*snap, cfg);
+  const lin::CheckResult result = lin::check_shrinking_lemma(h);
+  EXPECT_TRUE(result.ok) << GetParam().name << ": " << result.violation;
+}
+
+TEST_P(BaselineConcurrentTest, StressedHistoryLinearizable) {
+  auto snap = GetParam().make(4, 3, 0);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 400;
+  cfg.scans_per_reader = 400;
+  cfg.stress_permille = 200;
+  cfg.seed = 23;
+  const lin::History h = lin::run_native_workload(*snap, cfg);
+  const lin::CheckResult result = lin::check_shrinking_lemma(h);
+  EXPECT_TRUE(result.ok) << GetParam().name << ": " << result.violation;
+}
+
+TEST_P(BaselineConcurrentTest, SingleComponentContended) {
+  auto snap = GetParam().make(1, 4, 0);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 2000;
+  cfg.scans_per_reader = 1000;
+  cfg.seed = 5;
+  const lin::History h = lin::run_native_workload(*snap, cfg);
+  const lin::CheckResult result = lin::check_shrinking_lemma(h);
+  EXPECT_TRUE(result.ok) << GetParam().name << ": " << result.violation;
+}
+
+Case cases[] = {
+    {"Afek",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::AfekSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"UnboundedHelping",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<
+           baselines::UnboundedHelpingSnapshot<std::uint64_t>>(c, r, init);
+     }},
+    {"DoubleCollect",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<
+           baselines::DoubleCollectSnapshot<std::uint64_t>>(c, r, init);
+     }},
+    {"Mutex",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::MutexSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"Seqlock",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::SeqlockSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+};
+
+INSTANTIATE_TEST_SUITE_P(All, BaselineConcurrentTest,
+                         ::testing::ValuesIn(cases),
+                         [](const ::testing::TestParamInfo<Case>& i) {
+                           return i.param.name;
+                         });
+
+}  // namespace
+}  // namespace compreg

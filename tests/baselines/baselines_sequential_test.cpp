@@ -1,0 +1,132 @@
+// Shared sequential-semantics suite run against every Snapshot
+// implementation (the paper's construction and all baselines) through
+// the common interface.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "baselines/afek_snapshot.h"
+#include "baselines/double_collect.h"
+#include "baselines/mutex_snapshot.h"
+#include "baselines/seqlock_snapshot.h"
+#include "baselines/unbounded_helping.h"
+#include "core/composite_register.h"
+#include "core/snapshot.h"
+
+namespace compreg {
+namespace {
+
+using Factory = std::function<std::unique_ptr<core::Snapshot<std::uint64_t>>(
+    int components, int readers, std::uint64_t initial)>;
+
+struct NamedFactory {
+  const char* name;
+  Factory make;
+};
+
+class AllSnapshotsTest : public ::testing::TestWithParam<NamedFactory> {};
+
+TEST_P(AllSnapshotsTest, InitialValueEverywhere) {
+  auto snap = GetParam().make(4, 2, 55);
+  for (int j = 0; j < 2; ++j) {
+    const auto vals = snap->scan(j);
+    ASSERT_EQ(vals.size(), 4u);
+    for (auto v : vals) EXPECT_EQ(v, 55u);
+  }
+}
+
+TEST_P(AllSnapshotsTest, UpdateThenScan) {
+  auto snap = GetParam().make(3, 1, 0);
+  snap->update(0, 1);
+  snap->update(1, 2);
+  snap->update(2, 3);
+  EXPECT_EQ(snap->scan(0), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST_P(AllSnapshotsTest, RepeatedUpdatesKeepLatest) {
+  auto snap = GetParam().make(2, 1, 0);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    snap->update(0, i);
+    snap->update(1, i * 2);
+  }
+  EXPECT_EQ(snap->scan(0), (std::vector<std::uint64_t>{100, 200}));
+}
+
+TEST_P(AllSnapshotsTest, IdsCountPerComponent) {
+  auto snap = GetParam().make(2, 1, 0);
+  EXPECT_EQ(snap->update(0, 9), 1u);
+  EXPECT_EQ(snap->update(0, 8), 2u);
+  EXPECT_EQ(snap->update(1, 7), 1u);
+  const auto items = snap->scan_items(0);
+  EXPECT_EQ(items[0].id, 2u);
+  EXPECT_EQ(items[1].id, 1u);
+}
+
+TEST_P(AllSnapshotsTest, SingleComponentShape) {
+  auto snap = GetParam().make(1, 2, 3);
+  EXPECT_EQ(snap->scan(1), (std::vector<std::uint64_t>{3}));
+  snap->update(0, 4);
+  EXPECT_EQ(snap->scan(0), (std::vector<std::uint64_t>{4}));
+}
+
+TEST_P(AllSnapshotsTest, WideShape) {
+  auto snap = GetParam().make(10, 3, 0);
+  for (int k = 0; k < 10; ++k) {
+    snap->update(k, static_cast<std::uint64_t>(k * k));
+  }
+  for (int j = 0; j < 3; ++j) {
+    const auto vals = snap->scan(j);
+    for (int k = 0; k < 10; ++k) {
+      EXPECT_EQ(vals[static_cast<std::size_t>(k)],
+                static_cast<std::uint64_t>(k * k));
+    }
+  }
+}
+
+NamedFactory factories[] = {
+    {"Anderson",
+     [](int c, int r, std::uint64_t init) {
+       return std::make_unique<core::CompositeRegister<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"Afek",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::AfekSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"UnboundedHelping",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<
+           baselines::UnboundedHelpingSnapshot<std::uint64_t>>(c, r, init);
+     }},
+    {"DoubleCollect",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<
+           baselines::DoubleCollectSnapshot<std::uint64_t>>(c, r, init);
+     }},
+    {"Mutex",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::MutexSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"Seqlock",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::SeqlockSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+};
+
+INSTANTIATE_TEST_SUITE_P(All, AllSnapshotsTest,
+                         ::testing::ValuesIn(factories),
+                         [](const ::testing::TestParamInfo<NamedFactory>& i) {
+                           return i.param.name;
+                         });
+
+}  // namespace
+}  // namespace compreg

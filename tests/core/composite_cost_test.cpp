@@ -1,0 +1,121 @@
+// Verifies the paper's Section 4.1 complexity claims *exactly*: the
+// construction is straight-line (no data-dependent loops), so every
+// Read performs precisely TR(C,R) = 5 + 2*TR(C-1,R+1) base-register
+// operations and every 0-Write precisely TW(C,R) = R + 2 + TR(C-1,R+1),
+// independent of values or interleavings. This is both a correctness
+// test and the wait-freedom argument in executable form.
+#include <gtest/gtest.h>
+
+#include "core/composite_register.h"
+#include "util/op_counter.h"
+#include "util/space_accounting.h"
+
+namespace compreg::core {
+namespace {
+
+using Reg = CompositeRegister<std::uint64_t>;
+
+TEST(CompositeCostTest, ReadCostRecurrenceClosedForm) {
+  // TR(1,R) = 1; TR(C,R) = 5 + 2*TR(C-1,R+1): R-independent, O(2^C).
+  EXPECT_EQ(Reg::read_cost(1, 1), 1u);
+  EXPECT_EQ(Reg::read_cost(2, 1), 7u);
+  EXPECT_EQ(Reg::read_cost(3, 1), 19u);
+  EXPECT_EQ(Reg::read_cost(4, 1), 43u);
+  // Closed form: TR(C) = 6*2^(C-1) - 5.
+  for (int c = 1; c <= 16; ++c) {
+    EXPECT_EQ(Reg::read_cost(c, 3),
+              6u * (1ull << (c - 1)) - 5u);
+  }
+}
+
+TEST(CompositeCostTest, WriteCostRecurrence) {
+  // TW(1,R) = 1; TW(C,R) = R + 2 + TR(C-1,R+1).
+  EXPECT_EQ(Reg::write_cost(1, 4), 1u);
+  EXPECT_EQ(Reg::write_cost(2, 1), 1u + 2u + 1u);   // R+2+TR(1,2)
+  EXPECT_EQ(Reg::write_cost(3, 2), 2u + 2u + 7u);   // R+2+TR(2,3)
+  // A k-Write enters the recursion k levels deep.
+  EXPECT_EQ(Reg::write_cost(3, 2, 1), Reg::write_cost(2, 3, 0));
+  EXPECT_EQ(Reg::write_cost(3, 2, 2), Reg::write_cost(1, 4, 0));
+}
+
+class CostSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CostSweep, MeasuredReadCostMatchesRecurrenceExactly) {
+  const auto [c, r] = GetParam();
+  Reg reg(c, r, 0);
+  for (int k = 0; k < c; ++k) reg.update(k, 1);
+  std::vector<Item<std::uint64_t>> out;
+  for (int j = 0; j < r; ++j) {
+    for (int rep = 0; rep < 3; ++rep) {
+      OpWindow win;
+      reg.scan_items(j, out);
+      EXPECT_EQ(win.delta().total(), Reg::read_cost(c, r))
+          << "C=" << c << " R=" << r << " reader=" << j;
+    }
+  }
+}
+
+TEST_P(CostSweep, MeasuredWriteCostMatchesRecurrenceExactly) {
+  const auto [c, r] = GetParam();
+  Reg reg(c, r, 0);
+  for (int k = 0; k < c; ++k) {
+    for (int rep = 0; rep < 3; ++rep) {
+      OpWindow win;
+      reg.update(k, static_cast<std::uint64_t>(rep));
+      EXPECT_EQ(win.delta().total(), Reg::write_cost(c, r, k))
+          << "C=" << c << " R=" << r << " component=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CostSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// Read cost must be schedule- and value-independent: interleave a
+// writer and confirm the count never changes (the wait-freedom bound).
+TEST(CompositeCostTest, ReadCostIndependentOfConcurrentWrites) {
+  Reg reg(3, 1, 0);
+  std::vector<Item<std::uint64_t>> out;
+  for (int i = 0; i < 50; ++i) {
+    reg.update(static_cast<int>(i) % 3, static_cast<std::uint64_t>(i));
+    OpWindow win;
+    reg.scan_items(0, out);
+    EXPECT_EQ(win.delta().total(), Reg::read_cost(3, 1));
+  }
+}
+
+// Space accounting: the register inventory matches the paper's
+// S(C,B,1,R) = (Y0 at every level) + (R Z-registers at every level),
+// with Y0 at level l holding B + 4R_l + C_l*B + 2 payload bits.
+TEST(CompositeCostTest, SpaceInventoryMatchesRecurrence) {
+  const int kC = 4, kR = 2;
+  const std::uint64_t b = sizeof(std::uint64_t) * 8;
+  SpaceAccountant acct;
+  {
+    ScopedSpaceAccounting scope(acct);
+    Reg reg(kC, kR, 0);
+  }
+  // Registers: one Y0 per level (C of them) plus R_l Z registers per
+  // non-base level: sum_{l=0}^{C-2} (R+l).
+  std::uint64_t expect_regs = static_cast<std::uint64_t>(kC);
+  std::uint64_t expect_bits = 0;
+  for (int l = 0; l < kC; ++l) {
+    const int cl = kC - l;
+    const int rl = kR + l;
+    if (cl == 1) {
+      expect_bits += b;  // base case: plain register of B bits
+    } else {
+      expect_bits += b + 4u * static_cast<std::uint64_t>(rl) +
+                     static_cast<std::uint64_t>(cl) * b + 2u;
+      expect_regs += static_cast<std::uint64_t>(rl);  // Z registers
+      expect_bits += 2u * static_cast<std::uint64_t>(rl);
+    }
+  }
+  EXPECT_EQ(acct.total_registers(), expect_regs);
+  EXPECT_EQ(acct.total_bits(), expect_bits);
+}
+
+}  // namespace
+}  // namespace compreg::core

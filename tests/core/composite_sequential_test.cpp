@@ -1,0 +1,137 @@
+#include "core/composite_register.h"
+
+#include <gtest/gtest.h>
+
+#include "registers/tagged_cell.h"
+
+namespace compreg::core {
+namespace {
+
+template <typename T>
+class CompositeSequentialTest : public ::testing::Test {};
+
+struct HazardBackend {
+  template <typename V>
+  using Reg = CompositeRegister<V, registers::HazardCell>;
+};
+struct TaggedBackend {
+  template <typename V>
+  using Reg = CompositeRegister<V, registers::TaggedCell>;
+};
+
+using Backends = ::testing::Types<HazardBackend, TaggedBackend>;
+TYPED_TEST_SUITE(CompositeSequentialTest, Backends);
+
+TYPED_TEST(CompositeSequentialTest, InitialSnapshot) {
+  typename TypeParam::template Reg<std::uint64_t> reg(4, 2, 99);
+  const auto items = reg.scan_items(0);
+  ASSERT_EQ(items.size(), 4u);
+  for (const auto& item : items) {
+    EXPECT_EQ(item.val, 99u);
+    EXPECT_EQ(item.id, 0u);  // the Initial Write
+  }
+}
+
+TYPED_TEST(CompositeSequentialTest, SingleComponentActsAsRegister) {
+  typename TypeParam::template Reg<std::uint64_t> reg(1, 3, 0);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_EQ(reg.update(0, i * 10), i);  // ids count up
+    for (int j = 0; j < 3; ++j) {
+      const auto items = reg.scan_items(j);
+      ASSERT_EQ(items.size(), 1u);
+      EXPECT_EQ(items[0].val, i * 10);
+      EXPECT_EQ(items[0].id, i);
+    }
+  }
+}
+
+TYPED_TEST(CompositeSequentialTest, WritesLandInTheirComponent) {
+  typename TypeParam::template Reg<std::uint64_t> reg(3, 1, 0);
+  reg.update(0, 10);
+  reg.update(1, 20);
+  reg.update(2, 30);
+  const auto vals = reg.scan(0);
+  EXPECT_EQ(vals, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TYPED_TEST(CompositeSequentialTest, LastWritePerComponentWins) {
+  typename TypeParam::template Reg<std::uint64_t> reg(2, 1, 0);
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    reg.update(0, i);
+    reg.update(1, 1000 + i);
+  }
+  const auto items = reg.scan_items(0);
+  EXPECT_EQ(items[0].val, 50u);
+  EXPECT_EQ(items[0].id, 50u);
+  EXPECT_EQ(items[1].val, 1050u);
+  EXPECT_EQ(items[1].id, 50u);
+}
+
+TYPED_TEST(CompositeSequentialTest, IdsArePerComponent) {
+  typename TypeParam::template Reg<std::uint64_t> reg(3, 1, 0);
+  reg.update(1, 5);
+  reg.update(1, 6);
+  reg.update(2, 7);
+  const auto items = reg.scan_items(0);
+  EXPECT_EQ(items[0].id, 0u);
+  EXPECT_EQ(items[1].id, 2u);
+  EXPECT_EQ(items[2].id, 1u);
+}
+
+TYPED_TEST(CompositeSequentialTest, ManyComponents) {
+  constexpr int kC = 8;
+  typename TypeParam::template Reg<std::uint64_t> reg(kC, 2, 0);
+  for (int k = 0; k < kC; ++k) {
+    reg.update(k, static_cast<std::uint64_t>(100 + k));
+  }
+  for (int j = 0; j < 2; ++j) {
+    const auto vals = reg.scan(j);
+    for (int k = 0; k < kC; ++k) {
+      EXPECT_EQ(vals[static_cast<std::size_t>(k)],
+                static_cast<std::uint64_t>(100 + k));
+    }
+  }
+}
+
+TYPED_TEST(CompositeSequentialTest, UpdateReturnsMonotoneIds) {
+  typename TypeParam::template Reg<std::uint64_t> reg(2, 1, 0);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t id = reg.update(0, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(id, last + 1);
+    last = id;
+  }
+}
+
+// Parameterized sweep over (C, R): sequential semantics must hold for
+// every configuration.
+class CompositeShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompositeShapeTest, SequentialReadYourWrites) {
+  const auto [c, r] = GetParam();
+  CompositeRegister<std::uint64_t> reg(c, r, 7);
+  for (int round = 1; round <= 3; ++round) {
+    for (int k = 0; k < c; ++k) {
+      reg.update(k, static_cast<std::uint64_t>(round * 100 + k));
+    }
+    for (int j = 0; j < r; ++j) {
+      const auto items = reg.scan_items(j);
+      ASSERT_EQ(static_cast<int>(items.size()), c);
+      for (int k = 0; k < c; ++k) {
+        EXPECT_EQ(items[static_cast<std::size_t>(k)].val,
+                  static_cast<std::uint64_t>(round * 100 + k));
+        EXPECT_EQ(items[static_cast<std::size_t>(k)].id,
+                  static_cast<std::uint64_t>(round));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CompositeShapeTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 8),
+                       ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace compreg::core

@@ -1,0 +1,172 @@
+// Deterministic-simulator verification: random and PCT schedules with
+// Shrinking Lemma + (for tiny runs) Wing-Gong checking, plus
+// bounded-exhaustive interleaving enumeration on micro configurations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/composite_register.h"
+#include "lin/shrinking_checker.h"
+#include "lin/wing_gong.h"
+#include "lin/workload.h"
+#include "sched/exhaustive.h"
+#include "sched/policy.h"
+
+namespace compreg::core {
+namespace {
+
+TEST(CompositeSimTest, RandomSchedulesSatisfyShrinkingLemma) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    CompositeRegister<std::uint64_t> reg(2, 2, 0);
+    sched::RandomPolicy policy(seed);
+    lin::WorkloadConfig cfg;
+    cfg.writes_per_writer = 8;
+    cfg.scans_per_reader = 8;
+    const lin::History h = lin::run_sim_workload(reg, policy, cfg);
+    const lin::CheckResult result = lin::check_shrinking_lemma(h);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+TEST(CompositeSimTest, RandomSchedulesThreeComponents) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    CompositeRegister<std::uint64_t> reg(3, 1, 0);
+    sched::RandomPolicy policy(seed * 7919);
+    lin::WorkloadConfig cfg;
+    cfg.writes_per_writer = 6;
+    cfg.scans_per_reader = 6;
+    const lin::History h = lin::run_sim_workload(reg, policy, cfg);
+    const lin::CheckResult result = lin::check_shrinking_lemma(h);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+TEST(CompositeSimTest, PctSchedulesSatisfyShrinkingLemma) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    CompositeRegister<std::uint64_t> reg(2, 1, 0);
+    // 3 procs (2 writers + 1 reader); depth-3 priority demotions.
+    sched::PctPolicy policy(seed, 3, 3, 200);
+    lin::WorkloadConfig cfg;
+    cfg.writes_per_writer = 10;
+    cfg.scans_per_reader = 10;
+    const lin::History h = lin::run_sim_workload(reg, policy, cfg);
+    const lin::CheckResult result = lin::check_shrinking_lemma(h);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+TEST(CompositeSimTest, TinyHistoriesAlsoPassWingGong) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    CompositeRegister<std::uint64_t> reg(2, 1, 0);
+    sched::RandomPolicy policy(seed * 131);
+    lin::WorkloadConfig cfg;
+    cfg.writes_per_writer = 3;
+    cfg.scans_per_reader = 3;
+    const lin::History h = lin::run_sim_workload(reg, policy, cfg);
+    ASSERT_TRUE(lin::check_shrinking_lemma(h).ok);
+    const lin::CheckResult wg = lin::check_wing_gong(h);
+    ASSERT_TRUE(wg.ok) << "seed " << seed << ": " << wg.violation;
+  }
+}
+
+// Bounded-exhaustive: every interleaving of the first `depth` shared
+// accesses of a 2-component scenario (1 writer-0 write, 1 writer-1
+// write, 1 scan) is explored and checked.
+TEST(CompositeSimTest, ExhaustiveMicroScenario) {
+  std::uint64_t violations = 0;
+  sched::Scenario scenario =
+      [&](sched::SimScheduler& sim) -> std::function<void()> {
+    auto reg = std::make_shared<CompositeRegister<std::uint64_t>>(2, 1, 0);
+    auto rec = std::make_shared<lin::HistoryRecorder>(
+        2, std::vector<std::uint64_t>{0, 0}, 3);
+    sim.spawn([reg, rec] {
+      lin::WriteRec w;
+      w.component = 0;
+      w.value = 100;
+      w.start = rec->clock().tick();
+      w.id = reg->update(0, 100);
+      w.end = rec->clock().tick();
+      rec->record_write(0, w);
+    });
+    sim.spawn([reg, rec] {
+      lin::WriteRec w;
+      w.component = 1;
+      w.value = 200;
+      w.start = rec->clock().tick();
+      w.id = reg->update(1, 200);
+      w.end = rec->clock().tick();
+      rec->record_write(1, w);
+    });
+    sim.spawn([reg, rec] {
+      std::vector<Item<std::uint64_t>> items;
+      lin::ReadRec r;
+      r.start = rec->clock().tick();
+      reg->scan_items(0, items);
+      r.end = rec->clock().tick();
+      for (const auto& item : items) {
+        r.ids.push_back(item.id);
+        r.values.push_back(item.val);
+      }
+      rec->record_read(2, r);
+    });
+    return [reg, rec, &violations] {
+      const lin::History h = rec->merge();
+      if (!lin::check_shrinking_lemma(h).ok) ++violations;
+      if (!lin::check_wing_gong(h).ok) ++violations;
+    };
+  };
+  const sched::ExploreStats stats =
+      sched::explore(scenario, /*max_depth=*/8, /*max_schedules=*/200000);
+  EXPECT_EQ(violations, 0u);
+  EXPECT_GT(stats.schedules, 100u);  // genuinely explored many schedules
+}
+
+// Second exhaustive scenario: one scan racing TWO successive 0-Writes —
+// the shape that drives the write-counter (wc) case analysis of
+// statement 8 (Figure 4(b) territory). Depth-bounded: every
+// interleaving of the first 8 accesses, deterministic tail.
+TEST(CompositeSimTest, ExhaustiveScanVersusTwoZeroWrites) {
+  std::uint64_t violations = 0;
+  sched::Scenario scenario =
+      [&](sched::SimScheduler& sim) -> std::function<void()> {
+    auto reg = std::make_shared<CompositeRegister<std::uint64_t>>(2, 1, 0);
+    auto rec = std::make_shared<lin::HistoryRecorder>(
+        2, std::vector<std::uint64_t>{0, 0}, 2);
+    sim.spawn([reg, rec] {
+      for (std::uint64_t i = 1; i <= 2; ++i) {
+        lin::WriteRec w;
+        w.component = 0;
+        w.value = 100 + i;
+        w.start = rec->clock().tick();
+        w.id = reg->update(0, w.value);
+        w.end = rec->clock().tick();
+        rec->record_write(0, w);
+      }
+    });
+    sim.spawn([reg, rec] {
+      std::vector<Item<std::uint64_t>> items;
+      lin::ReadRec r;
+      r.start = rec->clock().tick();
+      reg->scan_items(0, items);
+      r.end = rec->clock().tick();
+      for (const auto& item : items) {
+        r.ids.push_back(item.id);
+        r.values.push_back(item.val);
+      }
+      rec->record_read(1, r);
+    });
+    return [reg, rec, &violations] {
+      const lin::History h = rec->merge();
+      if (!lin::check_shrinking_lemma(h).ok) ++violations;
+      if (!lin::check_wing_gong(h).ok) ++violations;
+    };
+  };
+  const sched::ExploreStats stats =
+      sched::explore(scenario, /*max_depth=*/8, /*max_schedules=*/100000);
+  EXPECT_EQ(violations, 0u);
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_GT(stats.schedules, 50u);
+}
+
+}  // namespace
+}  // namespace compreg::core

@@ -1,0 +1,129 @@
+#include "core/multi_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "lin/shrinking_checker.h"
+#include "lin/workload.h"
+#include "sched/policy.h"
+#include "sched/sim_scheduler.h"
+
+namespace compreg::core {
+namespace {
+
+TEST(MultiWriterTest, InitialSnapshot) {
+  MultiWriterSnapshot<std::uint64_t> snap(3, 2, 1, 7);
+  std::vector<Item<std::uint64_t>> out;
+  snap.scan_items(0, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& item : out) {
+    EXPECT_EQ(item.val, 7u);
+    EXPECT_EQ(item.id, 0u);
+  }
+}
+
+TEST(MultiWriterTest, AnyProcessWritesAnyComponent) {
+  MultiWriterSnapshot<std::uint64_t> snap(2, 3, 1, 0);
+  snap.update(0, 0, 10);
+  snap.update(1, 0, 11);  // a different process overwrites component 0
+  snap.update(2, 1, 20);
+  const auto vals = snap.scan(0);
+  EXPECT_EQ(vals, (std::vector<std::uint64_t>{11, 20}));
+}
+
+TEST(MultiWriterTest, SequentialWritesGetIncreasingIds) {
+  MultiWriterSnapshot<std::uint64_t> snap(1, 2, 1, 0);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t id = snap.update(i % 2, 0,
+                                         static_cast<std::uint64_t>(i));
+    EXPECT_GT(id, last);
+    last = id;
+  }
+}
+
+TEST(MultiWriterTest, ProcessesAlternatingOnOneComponent) {
+  MultiWriterSnapshot<std::uint64_t> snap(1, 2, 1, 0);
+  snap.update(0, 0, 1);
+  snap.update(1, 0, 2);
+  snap.update(0, 0, 3);
+  EXPECT_EQ(snap.scan(0), (std::vector<std::uint64_t>{3}));
+}
+
+class MwSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MwSweep, ConcurrentHistorySatisfiesShrinkingLemma) {
+  const auto [m, n, r] = GetParam();
+  MultiWriterSnapshot<std::uint64_t> snap(m, n, r, 0);
+  lin::MwWorkloadConfig cfg;
+  cfg.writes_per_process = 150;
+  cfg.scans_per_reader = 150;
+  cfg.seed = static_cast<std::uint64_t>(m * 100 + n * 10 + r);
+  const lin::History h = lin::run_native_workload_mw(snap, cfg);
+  const lin::CheckResult result = lin::check_shrinking_lemma(h);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MwSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(1, 2)));
+
+// Deterministic-simulator verification of the reduction: random
+// schedules, Shrinking-checked, plus Wing-Gong on tiny runs.
+TEST(MultiWriterTest, SimSchedulesLinearizable) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    MultiWriterSnapshot<std::uint64_t> snap(2, 2, 1, 0);
+    sched::RandomPolicy policy(seed * 1009);
+    sched::SimScheduler sim(policy);
+    lin::HistoryRecorder rec(2, {0, 0}, 3);
+    for (int p = 0; p < 2; ++p) {
+      sim.spawn([&, p] {
+        for (int i = 1; i <= 4; ++i) {
+          lin::WriteRec w;
+          w.component = (p + i) % 2;
+          w.value = (static_cast<std::uint64_t>(p + 1) << 32) |
+                    static_cast<std::uint64_t>(i);
+          w.proc = p;
+          w.start = rec.clock().tick();
+          w.id = snap.update(p, w.component, w.value);
+          w.end = rec.clock().tick();
+          rec.record_write(p, w);
+        }
+      });
+    }
+    sim.spawn([&] {
+      std::vector<Item<std::uint64_t>> items;
+      for (int i = 0; i < 4; ++i) {
+        lin::ReadRec r;
+        r.proc = 2;
+        r.start = rec.clock().tick();
+        snap.scan_items(0, items);
+        r.end = rec.clock().tick();
+        for (const auto& item : items) {
+          r.ids.push_back(item.id);
+          r.values.push_back(item.val);
+        }
+        rec.record_read(2, r);
+      }
+    });
+    sim.run();
+    const lin::History h = rec.merge();
+    const lin::CheckResult result = lin::check_shrinking_lemma(h);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+TEST(MultiWriterTest, StressWithYields) {
+  MultiWriterSnapshot<std::uint64_t> snap(2, 4, 2, 0);
+  lin::MwWorkloadConfig cfg;
+  cfg.writes_per_process = 300;
+  cfg.scans_per_reader = 300;
+  cfg.stress_permille = 150;
+  const lin::History h = lin::run_native_workload_mw(snap, cfg);
+  const lin::CheckResult result = lin::check_shrinking_lemma(h);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+}  // namespace
+}  // namespace compreg::core

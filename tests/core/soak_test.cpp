@@ -1,0 +1,101 @@
+// Soak: heavier, longer stress over every implementation with mixed
+// workload shapes (continuous + bursty writers) — a few seconds total,
+// intended as the suite's endurance tier.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "baselines/afek_snapshot.h"
+#include "baselines/double_collect.h"
+#include "baselines/mutex_snapshot.h"
+#include "baselines/seqlock_snapshot.h"
+#include "baselines/unbounded_helping.h"
+#include "core/composite_register.h"
+#include "lin/shrinking_checker.h"
+#include "lin/workload.h"
+
+namespace compreg {
+namespace {
+
+using Factory = std::function<std::unique_ptr<core::Snapshot<std::uint64_t>>(
+    int, int, std::uint64_t)>;
+
+struct Case {
+  const char* name;
+  Factory make;
+};
+
+class SoakTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SoakTest, BurstyWritersLinearizable) {
+  auto snap = GetParam().make(3, 2, 0);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 3000;
+  cfg.scans_per_reader = 3000;
+  cfg.burst = 16;
+  cfg.pause_spins = 2000;
+  cfg.seed = 61;
+  const lin::History h = lin::run_native_workload(*snap, cfg);
+  const lin::CheckResult result = lin::check_shrinking_lemma(h);
+  EXPECT_TRUE(result.ok) << GetParam().name << ": " << result.violation;
+}
+
+TEST_P(SoakTest, ContinuousHeavyLinearizable) {
+  auto snap = GetParam().make(2, 3, 0);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 6000;
+  cfg.scans_per_reader = 4000;
+  cfg.stress_permille = 50;
+  cfg.seed = 62;
+  const lin::History h = lin::run_native_workload(*snap, cfg);
+  const lin::CheckResult result = lin::check_shrinking_lemma(h);
+  EXPECT_TRUE(result.ok) << GetParam().name << ": " << result.violation;
+}
+
+Case cases[] = {
+    {"Anderson",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<core::CompositeRegister<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"Afek",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::AfekSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"UnboundedHelping",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<
+           baselines::UnboundedHelpingSnapshot<std::uint64_t>>(c, r, init);
+     }},
+    {"DoubleCollect",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<
+           baselines::DoubleCollectSnapshot<std::uint64_t>>(c, r, init);
+     }},
+    {"Mutex",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::MutexSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+    {"Seqlock",
+     [](int c, int r, std::uint64_t init)
+         -> std::unique_ptr<core::Snapshot<std::uint64_t>> {
+       return std::make_unique<baselines::SeqlockSnapshot<std::uint64_t>>(
+           c, r, init);
+     }},
+};
+
+INSTANTIATE_TEST_SUITE_P(All, SoakTest, ::testing::ValuesIn(cases),
+                         [](const ::testing::TestParamInfo<Case>& i) {
+                           return i.param.name;
+                         });
+
+}  // namespace
+}  // namespace compreg

@@ -1,0 +1,64 @@
+#include "core/tuple_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace compreg::core {
+namespace {
+
+TEST(TupleSnapshotTest, InitialValues) {
+  TupleSnapshot<int, std::string, bool> snap(1, 7, std::string("boot"),
+                                             true);
+  const auto [n, s, b] = snap.snapshot(0);
+  EXPECT_EQ(n, 7);
+  EXPECT_EQ(s, "boot");
+  EXPECT_TRUE(b);
+}
+
+TEST(TupleSnapshotTest, TypedSetAndGet) {
+  TupleSnapshot<int, std::string> snap(1, 0, std::string());
+  snap.set<0>(42);
+  snap.set<1>("hello");
+  EXPECT_EQ(snap.get<0>(0), 42);
+  EXPECT_EQ(snap.get<1>(0), "hello");
+  snap.set<0>(43);
+  const auto [n, s] = snap.snapshot(0);
+  EXPECT_EQ(n, 43);
+  EXPECT_EQ(s, "hello");
+}
+
+// Cross-component consistency with mixed types: the writer keeps the
+// string equal to the decimal rendering of the int; every snapshot must
+// agree (off-by-one allowed for the component written first).
+TEST(TupleSnapshotTest, MixedTypeConsistencyUnderConcurrency) {
+  TupleSnapshot<std::uint64_t, std::string> snap(1, 0, std::string("0"));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 20000 && !stop.load(); ++i) {
+      snap.set<0>(i);
+      snap.set<1>(std::to_string(i));
+    }
+    stop.store(true);
+  });
+  while (!stop.load()) {
+    const auto [n, s] = snap.snapshot(0);
+    const std::uint64_t parsed = std::stoull(s);
+    // The int is written first, so it may lead the string by one.
+    ASSERT_GE(n, parsed);
+    ASSERT_LE(n - parsed, 1u);
+  }
+  writer.join();
+}
+
+TEST(TupleSnapshotTest, SingleComponentTuple) {
+  TupleSnapshot<double> snap(2, 1.5);
+  EXPECT_DOUBLE_EQ(snap.get<0>(0), 1.5);
+  snap.set<0>(2.5);
+  EXPECT_DOUBLE_EQ(snap.get<0>(1), 2.5);
+}
+
+}  // namespace
+}  // namespace compreg::core

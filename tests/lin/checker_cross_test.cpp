@@ -1,0 +1,141 @@
+// Cross-validation properties between the three verification layers:
+//
+//  * Shrinking-clean => Wing-Gong-linearizable (the lemma is a
+//    SUFFICIENT condition, so this implication must hold on any
+//    history; the converse need not);
+//  * Shrinking-clean => a witness exists and replays;
+//  * performance guard: the fast checker stays near-linear on large
+//    histories (a quadratic regression would time out the suite).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "lin/shrinking_checker.h"
+#include "lin/wing_gong.h"
+#include "lin/witness.h"
+#include "util/rng.h"
+
+namespace compreg::lin {
+namespace {
+
+// Random small histories, many invalid; whenever the Shrinking checker
+// accepts, the independent oracle and the witness builder must too.
+TEST(CheckerCrossTest, ShrinkingImpliesWingGongAndWitness) {
+  Rng rng(777);
+  int accepted = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const int c = 1 + static_cast<int>(rng.below(2));
+    History h;
+    h.components = c;
+    h.initial.assign(static_cast<std::size_t>(c), 0);
+    std::vector<std::uint64_t> next_id(static_cast<std::size_t>(c), 1);
+    std::uint64_t t = 1;
+    const int n_writes = static_cast<int>(rng.below(5));
+    for (int i = 0; i < n_writes; ++i) {
+      WriteRec w;
+      w.component = static_cast<int>(rng.below(static_cast<std::uint64_t>(c)));
+      w.id = rng.chance(1, 5)
+                 ? rng.below(4)
+                 : next_id[static_cast<std::size_t>(w.component)]++;
+      w.value = w.id * 10 + static_cast<std::uint64_t>(w.component);
+      w.start = t + rng.below(2);
+      w.end = w.start + 1 + rng.below(4);
+      t = rng.chance(1, 2) ? w.end + 1 : w.start + 1;
+      h.writes.push_back(w);
+    }
+    const int n_reads = static_cast<int>(rng.below(4));
+    for (int i = 0; i < n_reads; ++i) {
+      ReadRec r;
+      for (int k = 0; k < c; ++k) {
+        const std::uint64_t id = rng.below(4);
+        r.ids.push_back(id);
+        r.values.push_back(id == 0 ? 0
+                                   : id * 10 + static_cast<std::uint64_t>(k));
+      }
+      r.start = 1 + rng.below(t + 2);
+      r.end = r.start + 1 + rng.below(4);
+      h.reads.push_back(std::move(r));
+    }
+    if (!check_shrinking_lemma(h).ok) continue;
+    ++accepted;
+    const CheckResult wg = check_wing_gong(h);
+    ASSERT_TRUE(wg.ok) << "iteration " << iter
+                       << ": Shrinking accepted but Wing-Gong rejected — "
+                       << wg.violation;
+    const Witness w = build_linearization(h);
+    ASSERT_TRUE(w.ok) << "iteration " << iter << ": no witness — "
+                      << w.error;
+  }
+  EXPECT_GT(accepted, 20);  // the fuzzer must produce some valid histories
+}
+
+// Large valid history: C writers issuing sequential ids, reads placed
+// in quiescent gaps — trivially valid, big enough to expose quadratic
+// blowups.
+TEST(CheckerCrossTest, FastCheckerScalesToLargeHistories) {
+  constexpr int kC = 4;
+  constexpr int kRounds = 50000;  // 200k writes + 50k reads
+  History h;
+  h.components = kC;
+  h.initial.assign(kC, 0);
+  std::uint64_t t = 1;
+  h.writes.reserve(kC * kRounds);
+  h.reads.reserve(kRounds);
+  for (int round = 1; round <= kRounds; ++round) {
+    for (int k = 0; k < kC; ++k) {
+      WriteRec w;
+      w.component = k;
+      w.id = static_cast<std::uint64_t>(round);
+      w.value = w.id * 100 + static_cast<std::uint64_t>(k);
+      w.start = t++;
+      w.end = t++;
+      h.writes.push_back(w);
+    }
+    ReadRec r;
+    for (int k = 0; k < kC; ++k) {
+      r.ids.push_back(static_cast<std::uint64_t>(round));
+      r.values.push_back(static_cast<std::uint64_t>(round) * 100 +
+                         static_cast<std::uint64_t>(k));
+    }
+    r.start = t++;
+    r.end = t++;
+    h.reads.push_back(std::move(r));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const CheckResult result = check_shrinking_lemma(h);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0)
+      << "fast checker took too long on a 250k-op history";
+}
+
+// And a large INVALID history must also be detected quickly.
+TEST(CheckerCrossTest, FastCheckerRejectsLargeBadHistoryQuickly) {
+  History h;
+  h.components = 1;
+  h.initial = {0};
+  std::uint64_t t = 1;
+  for (int i = 1; i <= 100000; ++i) {
+    WriteRec w;
+    w.component = 0;
+    w.id = static_cast<std::uint64_t>(i);
+    w.value = static_cast<std::uint64_t>(i);
+    w.start = t++;
+    w.end = t++;
+    h.writes.push_back(w);
+  }
+  // One stale read at the very end.
+  ReadRec r;
+  r.ids = {1};
+  r.values = {1};
+  r.start = t++;
+  r.end = t++;
+  h.reads.push_back(r);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(check_shrinking_lemma(h).ok);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+}
+
+}  // namespace
+}  // namespace compreg::lin

@@ -1,0 +1,87 @@
+#include "lin/dump.h"
+
+#include <gtest/gtest.h>
+
+#include "core/composite_register.h"
+#include "lin/shrinking_checker.h"
+#include "lin/workload.h"
+#include "sched/policy.h"
+
+namespace compreg::lin {
+namespace {
+
+History sample() {
+  History h;
+  h.components = 2;
+  h.initial = {7, 8};
+  WriteRec w;
+  w.proc = 0;
+  w.component = 1;
+  w.id = 3;
+  w.value = 99;
+  w.start = 10;
+  w.end = 12;
+  h.writes.push_back(w);
+  WriteRec pending = w;
+  pending.id = 4;
+  pending.start = 13;
+  pending.end = kPendingEnd;
+  h.writes.push_back(pending);
+  ReadRec r;
+  r.proc = 1;
+  r.start = 14;
+  r.end = 15;
+  r.ids = {0, 3};
+  r.values = {7, 99};
+  h.reads.push_back(r);
+  return h;
+}
+
+TEST(DumpTest, RoundTrip) {
+  const History h = sample();
+  const std::string text = dump_history(h);
+  const auto parsed = parse_history(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->components, h.components);
+  EXPECT_EQ(parsed->initial, h.initial);
+  ASSERT_EQ(parsed->writes.size(), 2u);
+  EXPECT_EQ(parsed->writes[0].value, 99u);
+  EXPECT_EQ(parsed->writes[1].end, kPendingEnd);
+  ASSERT_EQ(parsed->reads.size(), 1u);
+  EXPECT_EQ(parsed->reads[0].ids, (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_EQ(parsed->reads[0].values, (std::vector<std::uint64_t>{7, 99}));
+}
+
+TEST(DumpTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a failing history\n\nhistory 1\ninit 0\nw 0 0 1 5 1 2\n";
+  const auto parsed = parse_history(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->writes.size(), 1u);
+}
+
+TEST(DumpTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_history(std::string("w 0 0 1 5 1 2\n")).has_value());
+  EXPECT_FALSE(parse_history(std::string("history 2\ninit 0\n")).has_value());
+  EXPECT_FALSE(parse_history(std::string("history 1\ninit 0\nbogus\n"))
+                   .has_value());
+  EXPECT_FALSE(
+      parse_history(std::string("history 1\ninit 0\nr 0 1 2 ids 1 vals\n"))
+          .has_value());
+}
+
+TEST(DumpTest, CheckerVerdictSurvivesRoundTrip) {
+  core::CompositeRegister<std::uint64_t> reg(2, 1, 0);
+  sched::RandomPolicy policy(404);
+  WorkloadConfig cfg;
+  cfg.writes_per_writer = 10;
+  cfg.scans_per_reader = 10;
+  const History h = run_sim_workload(reg, policy, cfg);
+  const auto parsed = parse_history(dump_history(h));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(check_shrinking_lemma(h).ok, check_shrinking_lemma(*parsed).ok);
+  EXPECT_EQ(parsed->size(), h.size());
+}
+
+}  // namespace
+}  // namespace compreg::lin

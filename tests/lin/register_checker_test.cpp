@@ -1,0 +1,109 @@
+#include "lin/register_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace compreg::lin {
+namespace {
+
+RegWrite w(std::uint64_t id, std::uint64_t s, std::uint64_t e) {
+  return RegWrite{id, s, e};
+}
+RegRead r(std::uint64_t id, std::uint64_t s, std::uint64_t e) {
+  return RegRead{id, s, e};
+}
+
+TEST(RegisterCheckerTest, EmptyPasses) {
+  EXPECT_TRUE(check_register_atomicity({}).ok);
+}
+
+TEST(RegisterCheckerTest, SequentialPasses) {
+  RegisterHistory h;
+  h.writes = {w(1, 3, 4), w(2, 7, 8)};
+  h.reads = {r(0, 1, 2), r(1, 5, 6), r(2, 9, 10)};
+  // The first read precedes every write and returns the initial value.
+  EXPECT_TRUE(check_register_atomicity(h).ok);
+}
+
+TEST(RegisterCheckerTest, OverlapMayReturnEither) {
+  for (std::uint64_t id : {0ull, 1ull}) {
+    RegisterHistory h;
+    h.writes = {w(1, 2, 8)};
+    h.reads = {r(id, 3, 7)};
+    EXPECT_TRUE(check_register_atomicity(h).ok) << id;
+  }
+}
+
+TEST(RegisterCheckerTest, FutureReadFails) {
+  RegisterHistory h;
+  h.writes = {w(1, 5, 6)};
+  h.reads = {r(1, 1, 2)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(RegisterCheckerTest, OverwrittenReadFails) {
+  RegisterHistory h;
+  h.writes = {w(1, 1, 2), w(2, 3, 4)};
+  h.reads = {r(1, 5, 6)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(RegisterCheckerTest, UnknownValueFails) {
+  RegisterHistory h;
+  h.reads = {r(9, 1, 2)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(RegisterCheckerTest, NewOldInversionFails) {
+  RegisterHistory h;
+  h.writes = {w(1, 1, 2), w(2, 3, 20)};
+  h.reads = {r(2, 4, 5), r(1, 6, 7)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(RegisterCheckerTest, ConcurrentReadsMayDisagreeBothWays) {
+  // Two overlapping reads during one write may split old/new freely.
+  RegisterHistory h;
+  h.writes = {w(1, 1, 20)};
+  h.reads = {r(1, 2, 10), r(0, 3, 9)};
+  EXPECT_TRUE(check_register_atomicity(h).ok);
+}
+
+TEST(RegisterCheckerTest, OverlappingWriterOpsRejected) {
+  RegisterHistory h;
+  h.writes = {w(1, 1, 5), w(2, 3, 8)};  // single writer cannot overlap
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(RegularityCheckerTest, AllowsNewOldInversion) {
+  // Regular but not atomic: two reads overlapping one write split
+  // new-then-old.
+  RegisterHistory h;
+  h.writes = {w(1, 1, 20)};
+  h.reads = {r(1, 2, 5), r(0, 8, 12)};  // r2 starts after r1 ends
+  EXPECT_TRUE(check_register_regularity(h).ok);
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(RegularityCheckerTest, StillRejectsStaleReads) {
+  RegisterHistory h;
+  h.writes = {w(1, 1, 2)};
+  h.reads = {r(0, 3, 4)};  // write completed: initial value is stale
+  EXPECT_FALSE(check_register_regularity(h).ok);
+}
+
+TEST(RegularityCheckerTest, StillRejectsFutureReads) {
+  RegisterHistory h;
+  h.writes = {w(1, 5, 6)};
+  h.reads = {r(1, 1, 2)};
+  EXPECT_FALSE(check_register_regularity(h).ok);
+}
+
+TEST(RegularityCheckerTest, AcceptsLatestOrOverlapping) {
+  RegisterHistory h;
+  h.writes = {w(1, 1, 2), w(2, 5, 10)};
+  h.reads = {r(1, 6, 7), r(2, 6, 7)};  // both legal during write 2
+  EXPECT_TRUE(check_register_regularity(h).ok);
+}
+
+}  // namespace
+}  // namespace compreg::lin

@@ -1,0 +1,237 @@
+// The checker itself must be trustworthy: hand-built histories with
+// known verdicts, one per condition, positive and negative — plus
+// agreement between the fast and naive implementations on random
+// histories.
+#include "lin/shrinking_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace compreg::lin {
+namespace {
+
+History empty_history(int components) {
+  History h;
+  h.components = components;
+  h.initial.assign(static_cast<std::size_t>(components), 0);
+  return h;
+}
+
+WriteRec wr(int k, std::uint64_t id, std::uint64_t value, std::uint64_t s,
+            std::uint64_t e) {
+  WriteRec w;
+  w.component = k;
+  w.id = id;
+  w.value = value;
+  w.start = s;
+  w.end = e;
+  return w;
+}
+
+ReadRec rd(std::vector<std::uint64_t> ids, std::vector<std::uint64_t> values,
+           std::uint64_t s, std::uint64_t e) {
+  ReadRec r;
+  r.ids = std::move(ids);
+  r.values = std::move(values);
+  r.start = s;
+  r.end = e;
+  return r;
+}
+
+TEST(ShrinkingCheckerTest, EmptyHistoryPasses) {
+  EXPECT_TRUE(check_shrinking_lemma(empty_history(2)).ok);
+}
+
+TEST(ShrinkingCheckerTest, SequentialHistoryPasses) {
+  History h = empty_history(2);
+  h.writes.push_back(wr(0, 1, 10, 1, 2));
+  h.writes.push_back(wr(1, 1, 20, 3, 4));
+  h.reads.push_back(rd({1, 1}, {10, 20}, 5, 6));
+  EXPECT_TRUE(check_shrinking_lemma(h).ok);
+}
+
+TEST(ShrinkingCheckerTest, ReadOfInitialValuePasses) {
+  History h = empty_history(2);
+  h.initial = {7, 8};
+  h.reads.push_back(rd({0, 0}, {7, 8}, 1, 2));
+  EXPECT_TRUE(check_shrinking_lemma(h).ok);
+}
+
+TEST(ShrinkingCheckerTest, UniquenessDuplicateIdFails) {
+  History h = empty_history(1);
+  h.writes.push_back(wr(0, 1, 10, 1, 2));
+  h.writes.push_back(wr(0, 1, 11, 3, 4));
+  const CheckResult r = check_shrinking_lemma(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("Uniqueness"), std::string::npos);
+}
+
+TEST(ShrinkingCheckerTest, UniquenessOrderViolationFails) {
+  History h = empty_history(1);
+  h.writes.push_back(wr(0, 2, 10, 1, 2));  // id 2 first in real time
+  h.writes.push_back(wr(0, 1, 11, 3, 4));  // id 1 after it completed
+  EXPECT_FALSE(check_shrinking_lemma(h).ok);
+}
+
+TEST(ShrinkingCheckerTest, IntegrityMissingWriteFails) {
+  History h = empty_history(1);
+  h.reads.push_back(rd({5}, {50}, 1, 2));
+  const CheckResult r = check_shrinking_lemma(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("Integrity"), std::string::npos);
+}
+
+TEST(ShrinkingCheckerTest, IntegrityValueMismatchFails) {
+  History h = empty_history(1);
+  h.writes.push_back(wr(0, 1, 10, 1, 2));
+  h.reads.push_back(rd({1}, {999}, 3, 4));
+  EXPECT_FALSE(check_shrinking_lemma(h).ok);
+}
+
+TEST(ShrinkingCheckerTest, ProximityFutureReadFails) {
+  History h = empty_history(1);
+  h.reads.push_back(rd({1}, {10}, 1, 2));     // read completes...
+  h.writes.push_back(wr(0, 1, 10, 3, 4));     // ...before the write starts
+  const CheckResult r = check_shrinking_lemma(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("Proximity"), std::string::npos);
+}
+
+TEST(ShrinkingCheckerTest, ProximityOverwrittenValueFails) {
+  History h = empty_history(1);
+  h.writes.push_back(wr(0, 1, 10, 1, 2));
+  h.writes.push_back(wr(0, 2, 11, 3, 4));
+  h.reads.push_back(rd({1}, {10}, 5, 6));  // both writes precede the read
+  EXPECT_FALSE(check_shrinking_lemma(h).ok);
+}
+
+TEST(ShrinkingCheckerTest, OverlappingReadMayReturnEitherValue) {
+  History h = empty_history(1);
+  h.writes.push_back(wr(0, 1, 10, 1, 2));
+  h.writes.push_back(wr(0, 2, 11, 4, 7));
+  h.reads.push_back(rd({1}, {10}, 5, 6));  // overlaps write 2: old value OK
+  EXPECT_TRUE(check_shrinking_lemma(h).ok);
+  History h2 = empty_history(1);
+  h2.writes.push_back(wr(0, 1, 10, 1, 2));
+  h2.writes.push_back(wr(0, 2, 11, 4, 7));
+  h2.reads.push_back(rd({2}, {11}, 5, 6));  // new value also OK
+  EXPECT_TRUE(check_shrinking_lemma(h2).ok);
+}
+
+TEST(ShrinkingCheckerTest, ReadPrecedenceIncomparableSnapshotsFail) {
+  History h = empty_history(2);
+  // Both writes overlap both reads, so Proximity is satisfied either
+  // way; the crossing snapshots alone are the violation.
+  h.writes.push_back(wr(0, 1, 10, 1, 20));
+  h.writes.push_back(wr(1, 1, 20, 1, 20));
+  h.reads.push_back(rd({1, 0}, {10, 0}, 3, 10));
+  h.reads.push_back(rd({0, 1}, {0, 20}, 4, 9));
+  const CheckResult r = check_shrinking_lemma(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("Read Precedence"), std::string::npos);
+}
+
+TEST(ShrinkingCheckerTest, ReadPrecedenceRealTimeOrderFails) {
+  History h = empty_history(1);
+  h.writes.push_back(wr(0, 1, 10, 1, 2));
+  h.writes.push_back(wr(0, 2, 11, 3, 12));
+  h.reads.push_back(rd({2}, {11}, 4, 5));   // sees the new value...
+  h.reads.push_back(rd({1}, {10}, 6, 7));   // ...then an old one: inversion
+  EXPECT_FALSE(check_shrinking_lemma(h).ok);
+}
+
+TEST(ShrinkingCheckerTest, WritePrecedenceViolationFails) {
+  History h = empty_history(2);
+  // v (component 0) wholly precedes w (component 1).
+  h.writes.push_back(wr(0, 1, 10, 1, 2));
+  h.writes.push_back(wr(1, 1, 20, 3, 4));
+  // Read reflects w but not v: snapshot {id0=0, id1=1}. The read
+  // overlaps both writes so Proximity alone cannot catch it.
+  h.reads.push_back(rd({0, 1}, {0, 20}, 1, 10));
+  const CheckResult r = check_shrinking_lemma(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("Write Precedence"), std::string::npos);
+}
+
+TEST(ShrinkingCheckerTest, NaiveAgreesOnHandBuiltCases) {
+  // Re-run every hand-built case through the naive checker and compare
+  // verdicts.
+  std::vector<History> cases;
+  {
+    History h = empty_history(2);
+    h.writes.push_back(wr(0, 1, 10, 1, 2));
+    h.writes.push_back(wr(1, 1, 20, 3, 4));
+    h.reads.push_back(rd({1, 1}, {10, 20}, 5, 6));
+    cases.push_back(h);
+  }
+  {
+    History h = empty_history(1);
+    h.reads.push_back(rd({1}, {10}, 1, 2));
+    h.writes.push_back(wr(0, 1, 10, 3, 4));
+    cases.push_back(h);
+  }
+  {
+    History h = empty_history(2);
+    h.writes.push_back(wr(0, 1, 10, 1, 2));
+    h.writes.push_back(wr(1, 1, 20, 3, 4));
+    h.reads.push_back(rd({0, 1}, {0, 20}, 1, 10));
+    cases.push_back(h);
+  }
+  for (const History& h : cases) {
+    EXPECT_EQ(check_shrinking_lemma(h).ok, check_shrinking_lemma_naive(h).ok);
+  }
+}
+
+// Fuzz: random histories (mostly invalid) must get identical verdicts
+// from the fast and naive checkers.
+TEST(ShrinkingCheckerTest, FastMatchesNaiveOnRandomHistories) {
+  Rng rng(2024);
+  int valid = 0, invalid = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const int c = 1 + static_cast<int>(rng.below(3));
+    History h = empty_history(c);
+    std::uint64_t t = 1;
+    std::vector<std::uint64_t> next_id(static_cast<std::size_t>(c), 1);
+    const int n_writes = static_cast<int>(rng.below(6));
+    for (int i = 0; i < n_writes; ++i) {
+      const int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(c)));
+      // Sometimes scramble ids to produce violations.
+      const std::uint64_t id = rng.chance(1, 4)
+                                   ? rng.below(4)
+                                   : next_id[static_cast<std::size_t>(k)]++;
+      const std::uint64_t s = t + rng.below(3);
+      const std::uint64_t e = s + 1 + rng.below(4);
+      t = rng.chance(1, 2) ? e + 1 : s + 1;
+      h.writes.push_back(wr(k, id, id * 100 + static_cast<std::uint64_t>(k),
+                            s, e));
+    }
+    const int n_reads = static_cast<int>(rng.below(5));
+    for (int i = 0; i < n_reads; ++i) {
+      std::vector<std::uint64_t> ids(static_cast<std::size_t>(c));
+      std::vector<std::uint64_t> values(static_cast<std::size_t>(c));
+      for (int k = 0; k < c; ++k) {
+        const std::uint64_t id = rng.below(4);
+        ids[static_cast<std::size_t>(k)] = id;
+        values[static_cast<std::size_t>(k)] =
+            id == 0 ? 0
+                    : (rng.chance(1, 8)
+                           ? 9999
+                           : id * 100 + static_cast<std::uint64_t>(k));
+      }
+      const std::uint64_t s = 1 + rng.below(t + 3);
+      const std::uint64_t e = s + 1 + rng.below(5);
+      h.reads.push_back(rd(std::move(ids), std::move(values), s, e));
+    }
+    const bool fast = check_shrinking_lemma(h).ok;
+    const bool naive = check_shrinking_lemma_naive(h).ok;
+    EXPECT_EQ(fast, naive) << "iteration " << iter;
+    (fast ? valid : invalid)++;
+  }
+  // The fuzzer should generate a mix, or it is not testing much.
+  EXPECT_GT(valid, 5);
+  EXPECT_GT(invalid, 5);
+}
+
+}  // namespace
+}  // namespace compreg::lin

@@ -1,0 +1,131 @@
+#include "lin/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/composite_register.h"
+#include "lin/workload.h"
+
+namespace compreg::lin {
+namespace {
+
+History base(int c) {
+  History h;
+  h.components = c;
+  h.initial.assign(static_cast<std::size_t>(c), 0);
+  return h;
+}
+
+TEST(StatsTest, EmptyHistory) {
+  const HistoryStats s = compute_stats(base(1));
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_EQ(s.reads, 0u);
+  EXPECT_EQ(s.max_concurrency, 0u);
+  EXPECT_EQ(s.overlapping_pairs, 0u);
+}
+
+TEST(StatsTest, SerialHistoryHasNoOverlap) {
+  History h = base(1);
+  for (int i = 0; i < 5; ++i) {
+    WriteRec w;
+    w.component = 0;
+    w.id = static_cast<std::uint64_t>(i + 1);
+    w.start = static_cast<std::uint64_t>(i * 2 + 1);
+    w.end = w.start + 1;
+    h.writes.push_back(w);
+  }
+  const HistoryStats s = compute_stats(h);
+  EXPECT_EQ(s.max_concurrency, 1u);
+  EXPECT_EQ(s.overlapping_pairs, 0u);
+  EXPECT_EQ(s.contended_reads, 0u);
+}
+
+TEST(StatsTest, CountsOverlapsExactly) {
+  History h = base(1);
+  // Three mutually overlapping writes: C(3,2) = 3 pairs.
+  for (int i = 0; i < 3; ++i) {
+    WriteRec w;
+    w.component = 0;
+    w.id = static_cast<std::uint64_t>(i + 1);
+    w.start = static_cast<std::uint64_t>(1 + i);
+    w.end = 10;
+    h.writes.push_back(w);
+  }
+  const HistoryStats s = compute_stats(h);
+  EXPECT_EQ(s.max_concurrency, 3u);
+  EXPECT_EQ(s.overlapping_pairs, 3u);
+}
+
+TEST(StatsTest, ContendedReads) {
+  History h = base(1);
+  WriteRec w;
+  w.component = 0;
+  w.id = 1;
+  w.start = 5;
+  w.end = 10;
+  h.writes.push_back(w);
+  ReadRec contended;
+  contended.ids = {0};
+  contended.values = {0};
+  contended.start = 8;
+  contended.end = 12;
+  h.reads.push_back(contended);
+  ReadRec serial;
+  serial.ids = {1};
+  serial.values = {0};
+  serial.start = 20;
+  serial.end = 21;
+  h.reads.push_back(serial);
+  const HistoryStats s = compute_stats(h);
+  EXPECT_EQ(s.contended_reads, 1u);
+}
+
+TEST(StatsTest, PendingWritesCounted) {
+  History h = base(1);
+  WriteRec w;
+  w.component = 0;
+  w.id = 1;
+  w.start = 1;
+  w.end = kPendingEnd;
+  h.writes.push_back(w);
+  const HistoryStats s = compute_stats(h);
+  EXPECT_EQ(s.pending_writes, 1u);
+  EXPECT_GE(s.max_concurrency, 1u);
+}
+
+// Meta-test of our own workloads: stressed native runs must actually
+// be concurrent, or the concurrency tests prove less than they claim.
+// (On a single-core host, FREE-RUNNING threads serialize almost
+// perfectly — ops are shorter than a scheduling quantum — which is
+// exactly why the workload driver has the yield-at-schedule-point
+// stress mode: yields inside operations force real overlap. This test
+// pins that property so it cannot silently regress.)
+TEST(StatsTest, StressedNativeWorkloadsAreActuallyConcurrent) {
+  core::CompositeRegister<std::uint64_t> reg(3, 2, 0);
+  WorkloadConfig cfg;
+  cfg.writes_per_writer = 500;
+  cfg.scans_per_reader = 500;
+  cfg.stress_permille = 400;  // yield often: operations interleave
+  cfg.seed = 17;
+  const History h = run_native_workload(reg, cfg);
+  const HistoryStats s = compute_stats(h);
+  EXPECT_GE(s.max_concurrency, 2u) << s.summary();
+  EXPECT_GT(s.overlapping_pairs, 50u) << s.summary();
+  EXPECT_GT(s.contended_reads, 10u) << s.summary();
+}
+
+// Simulator workloads produce overlap regardless of host cores: the
+// random policy interleaves at every shared access.
+TEST(StatsTest, SimWorkloadsAreConcurrentByConstruction) {
+  core::CompositeRegister<std::uint64_t> reg(2, 2, 0);
+  sched::RandomPolicy policy(5);
+  WorkloadConfig cfg;
+  cfg.writes_per_writer = 20;
+  cfg.scans_per_reader = 20;
+  const History h = run_sim_workload(reg, policy, cfg);
+  const HistoryStats s = compute_stats(h);
+  EXPECT_GE(s.max_concurrency, 2u) << s.summary();
+  EXPECT_GT(s.overlapping_pairs, 10u) << s.summary();
+}
+
+}  // namespace
+}  // namespace compreg::lin

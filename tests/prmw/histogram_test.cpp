@@ -1,0 +1,78 @@
+#include "prmw/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace compreg::prmw {
+namespace {
+
+using Hist4 = Histogram<4>;
+
+TEST(HistogramTest, BucketBoundaries) {
+  Hist4 h(1, 1, {10, 100, 1000});
+  EXPECT_EQ(h.bucket_for(-5), 0u);
+  EXPECT_EQ(h.bucket_for(10), 0u);
+  EXPECT_EQ(h.bucket_for(11), 1u);
+  EXPECT_EQ(h.bucket_for(100), 1u);
+  EXPECT_EQ(h.bucket_for(1000), 2u);
+  EXPECT_EQ(h.bucket_for(999999), 3u);
+}
+
+TEST(HistogramTest, RecordAndSnapshot) {
+  Hist4 h(2, 1, {10, 100, 1000});
+  h.record(0, 5);
+  h.record(0, 50);
+  h.record(1, 50);
+  h.record(1, 5000);
+  const Hist4::Counts c = h.snapshot(0);
+  EXPECT_EQ(c, (Hist4::Counts{1, 2, 0, 1}));
+  EXPECT_EQ(h.total(0), 4);
+}
+
+TEST(HistogramTest, QuantileBucket) {
+  Hist4 h(1, 1, {10, 100, 1000});
+  for (int i = 0; i < 90; ++i) h.record(0, 5);     // bucket 0
+  for (int i = 0; i < 9; ++i) h.record(0, 50);     // bucket 1
+  h.record(0, 500);                                 // bucket 2
+  EXPECT_EQ(h.quantile_bucket(0, 0.5), 0u);
+  EXPECT_EQ(h.quantile_bucket(0, 0.95), 1u);
+  EXPECT_EQ(h.quantile_bucket(0, 1.0), 2u);
+}
+
+TEST(HistogramTest, EmptyQuantileIsBucketZero) {
+  Hist4 h(1, 1, {1, 2, 3});
+  EXPECT_EQ(h.quantile_bucket(0, 0.99), 0u);
+}
+
+// Concurrency: totals are exact and snapshots never tear (a torn
+// snapshot could show a total that was never true, e.g. exceeding the
+// number of recorded samples so far).
+TEST(HistogramTest, ConcurrentRecordsExact) {
+  constexpr int kProcs = 3;
+  constexpr int kSamples = 4000;
+  Hist4 h(kProcs, 1, {10, 100, 1000});
+  std::atomic<std::int64_t> recorded{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kSamples; ++i) {
+        recorded.fetch_add(1, std::memory_order_seq_cst);
+        h.record(p, (p * kSamples + i) % 2000);
+      }
+    });
+  }
+  for (int n = 0; n < 2000; ++n) {
+    const std::int64_t total = h.total(0);
+    // total counts completed records; `recorded` is bumped BEFORE each
+    // record, so total can never exceed it.
+    ASSERT_LE(total, recorded.load());
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.total(0), kProcs * kSamples);
+}
+
+}  // namespace
+}  // namespace compreg::prmw

@@ -1,0 +1,114 @@
+#include "prmw/prmw.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/barrier.h"
+
+namespace compreg::prmw {
+namespace {
+
+TEST(CounterTest, SequentialExactness) {
+  Counter counter(2, 1);
+  EXPECT_EQ(counter.read(0), 0);
+  counter.increment(0);
+  counter.increment(1);
+  counter.add(0, 10);
+  EXPECT_EQ(counter.read(0), 12);
+}
+
+TEST(CounterTest, NegativeDeltas) {
+  Counter counter(2, 1);
+  counter.add(0, 100);
+  counter.add(1, -40);
+  EXPECT_EQ(counter.read(0), 60);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  constexpr int kProcs = 4;
+  constexpr int kIncs = 5000;
+  Counter counter(kProcs, 1);
+  SpinBarrier barrier(kProcs);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIncs; ++i) counter.increment(p);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.read(0), kProcs * kIncs);
+}
+
+TEST(CounterTest, ReadsDuringUpdatesAreMonotone) {
+  Counter counter(2, 1);
+  std::atomic<bool> stop{false};
+  std::thread w0([&] {
+    for (int i = 0; i < 20000 && !stop.load(); ++i) counter.increment(0);
+    stop.store(true);
+  });
+  std::thread w1([&] {
+    while (!stop.load()) counter.increment(1);
+  });
+  std::int64_t last = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t v = counter.read(0);
+    ASSERT_GE(v, last);  // only increments happen: reads must be monotone
+    last = v;
+  }
+  stop.store(true);
+  w0.join();
+  w1.join();
+}
+
+TEST(PrmwObjectTest, MaxSemantics) {
+  auto obj = make_prmw<MaxOp>(3, 1);
+  EXPECT_EQ(obj.read(0), INT64_MIN);
+  obj.apply(0, 5);
+  obj.apply(1, 3);
+  EXPECT_EQ(obj.read(0), 5);
+  obj.apply(2, 9);
+  EXPECT_EQ(obj.read(0), 9);
+  obj.apply(0, 1);  // max(5,1) stays 5
+  EXPECT_EQ(obj.read(0), 9);
+}
+
+TEST(PrmwObjectTest, BitOrSemantics) {
+  auto obj = make_prmw<BitOrOp>(2, 1);
+  obj.apply(0, 0b0011u);
+  obj.apply(1, 0b0100u);
+  EXPECT_EQ(obj.read(0), 0b0111u);
+}
+
+TEST(PrmwObjectTest, CommutativityProperty) {
+  // Applying the same multiset of updates in different per-process
+  // orders yields the same value — the property [6,7] require.
+  auto a = make_prmw<AddOp>(2, 1);
+  auto b = make_prmw<AddOp>(2, 1);
+  a.apply(0, 3);
+  a.apply(1, 5);
+  a.apply(0, 7);
+  b.apply(1, 5);
+  b.apply(0, 7);
+  b.apply(0, 3);
+  EXPECT_EQ(a.read(0), b.read(0));
+}
+
+TEST(PrmwObjectTest, ConcurrentMaxIsExact) {
+  auto obj = make_prmw<MaxOp>(3, 1);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < 2000; ++i) {
+        obj.apply(p, static_cast<std::int64_t>(p * 10000 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(obj.read(0), 2 * 10000 + 1999);
+}
+
+}  // namespace
+}  // namespace compreg::prmw

@@ -1,0 +1,56 @@
+#include "prmw/union_set.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace compreg::prmw {
+namespace {
+
+TEST(UnionSetTest, StartsEmpty) {
+  UnionSet set(2, 1);
+  EXPECT_EQ(set.size(0), 0);
+  EXPECT_FALSE(set.contains(0, 5));
+}
+
+TEST(UnionSetTest, InsertAndQuery) {
+  UnionSet set(2, 1);
+  set.insert(0, 3);
+  set.insert(1, 40);
+  EXPECT_TRUE(set.contains(0, 3));
+  EXPECT_TRUE(set.contains(0, 40));
+  EXPECT_FALSE(set.contains(0, 4));
+  EXPECT_EQ(set.size(0), 2);
+}
+
+TEST(UnionSetTest, InsertIsIdempotent) {
+  UnionSet set(2, 1);
+  for (int i = 0; i < 10; ++i) set.insert(0, 7);
+  EXPECT_EQ(set.size(0), 1);
+}
+
+TEST(UnionSetTest, GrowOnlyUnderConcurrency) {
+  UnionSet set(3, 1);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&, p] {
+      for (int e = 0; e < 64; ++e) {
+        if (e % 3 == p) set.insert(p, e);
+      }
+    });
+  }
+  // Reader: observed masks must grow monotonically (grow-only set +
+  // atomic snapshots).
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t mask = set.snapshot_mask(0);
+    ASSERT_EQ(mask & prev, prev) << "set lost elements";
+    prev = mask;
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(set.size(0), 64);
+}
+
+}  // namespace
+}  // namespace compreg::prmw

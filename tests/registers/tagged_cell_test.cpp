@@ -1,0 +1,125 @@
+#include "registers/tagged_cell.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lin/register_checker.h"
+
+namespace compreg::registers {
+namespace {
+
+TEST(TaggedCellTest, InitialValue) {
+  TaggedCell<int> cell(3, 7);
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(cell.read(j), 7);
+}
+
+TEST(TaggedCellTest, SequentialSemantics) {
+  TaggedCell<int> cell(2, 0);
+  for (int i = 1; i <= 500; ++i) {
+    cell.write(i);
+    EXPECT_EQ(cell.read(0), i);
+    EXPECT_EQ(cell.read(1), i);
+  }
+}
+
+TEST(TaggedCellTest, SingleReaderDegenerate) {
+  TaggedCell<int> cell(1, 0);
+  cell.write(3);
+  EXPECT_EQ(cell.read(0), 3);
+}
+
+TEST(TaggedCellTest, CountsOneOpPerAccess) {
+  TaggedCell<int> cell(2, 0);
+  OpWindow win;
+  cell.write(1);
+  (void)cell.read(0);
+  EXPECT_EQ(win.delta().reg_writes, 1u);
+  EXPECT_EQ(win.delta().reg_reads, 1u);
+}
+
+TEST(TaggedCellTest, AtomicityUnderStress) {
+  struct Val {
+    std::uint64_t id;
+  };
+  constexpr int kReaders = 3;
+  TaggedCell<Val> cell(kReaders, Val{0});
+  std::atomic<std::uint64_t> clock{1};
+  std::vector<lin::RegWrite> writes;
+  std::array<std::vector<lin::RegRead>, kReaders> reads;
+  const int kOps = 10000;
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= kOps; ++i) {
+      lin::RegWrite w;
+      w.id = i;
+      w.start = clock.fetch_add(1);
+      cell.write(Val{i});
+      w.end = clock.fetch_add(1);
+      writes.push_back(w);
+    }
+  });
+  std::vector<std::thread> rthreads;
+  for (int j = 0; j < kReaders; ++j) {
+    rthreads.emplace_back([&, j] {
+      for (int i = 0; i < kOps / 2; ++i) {
+        lin::RegRead r;
+        r.start = clock.fetch_add(1);
+        r.id = cell.read(j).id;
+        r.end = clock.fetch_add(1);
+        reads[static_cast<std::size_t>(j)].push_back(r);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : rthreads) t.join();
+  lin::RegisterHistory hist;
+  hist.writes = std::move(writes);
+  for (auto& rv : reads) {
+    hist.reads.insert(hist.reads.end(), rv.begin(), rv.end());
+  }
+  const lin::CheckResult result = lin::check_register_atomicity(hist);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// Cross-reader consistency: if reader A returns a value and then reader
+// B starts a read, B must not return an older value (no new-old
+// inversion across readers — the property the report registers exist
+// for).
+TEST(TaggedCellTest, NoCrossReaderInversion) {
+  struct Val {
+    std::uint64_t id;
+  };
+  TaggedCell<Val> cell(2, Val{0});
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> last_seen{0};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 20000; ++i) cell.write(Val{i});
+    stop.store(true);
+  });
+  std::thread r0([&] {
+    while (!stop.load()) {
+      const std::uint64_t v = cell.read(0).id;
+      std::uint64_t prev = last_seen.load();
+      while (prev < v && !last_seen.compare_exchange_weak(prev, v)) {
+      }
+    }
+  });
+  std::thread r1([&] {
+    while (!stop.load()) {
+      const std::uint64_t floor = last_seen.load(std::memory_order_seq_cst);
+      const std::uint64_t v = cell.read(1).id;
+      // floor was returned by a read that completed before this read
+      // started.
+      ASSERT_GE(v, floor);
+    }
+  });
+  writer.join();
+  r0.join();
+  r1.join();
+}
+
+}  // namespace
+}  // namespace compreg::registers

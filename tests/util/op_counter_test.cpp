@@ -1,0 +1,45 @@
+#include "util/op_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "registers/word_register.h"
+
+namespace compreg {
+namespace {
+
+TEST(OpCounterTest, WindowDeltaCountsThisThread) {
+  registers::WordRegister<int> reg(0);
+  OpWindow win;
+  reg.write(1);
+  (void)reg.read();
+  (void)reg.read();
+  const OpCounters delta = win.delta();
+  EXPECT_EQ(delta.reg_writes, 1u);
+  EXPECT_EQ(delta.reg_reads, 2u);
+  EXPECT_EQ(delta.total(), 3u);
+}
+
+TEST(OpCounterTest, CountersAreThreadLocal) {
+  registers::WordRegister<int> reg(0);
+  OpWindow win;
+  std::thread other([&] {
+    for (int i = 0; i < 100; ++i) (void)reg.read();
+  });
+  other.join();
+  EXPECT_EQ(win.delta().total(), 0u);
+}
+
+TEST(OpCounterTest, NestedWindows) {
+  registers::WordRegister<int> reg(0);
+  OpWindow outer;
+  reg.write(1);
+  OpWindow inner;
+  reg.write(2);
+  EXPECT_EQ(inner.delta().reg_writes, 1u);
+  EXPECT_EQ(outer.delta().reg_writes, 2u);
+}
+
+}  // namespace
+}  // namespace compreg

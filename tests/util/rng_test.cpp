@@ -1,0 +1,81 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace compreg {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[static_cast<size_t>(i)]);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(13);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(RngTest, ChanceRoughlyUniform) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(1, 4) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace compreg

@@ -1,0 +1,70 @@
+#include "util/space_accounting.h"
+
+#include <gtest/gtest.h>
+
+namespace compreg {
+namespace {
+
+TEST(SpaceAccountingTest, NoAccountantMeansNoop) {
+  EXPECT_EQ(current_space_accountant(), nullptr);
+  account_register("x", 8, 1);  // must not crash
+}
+
+TEST(SpaceAccountingTest, RecordsWithinScope) {
+  SpaceAccountant acct;
+  {
+    ScopedSpaceAccounting scope(acct);
+    account_register("Y0", 100, 4);
+    account_register("Z", 2, 1, 3);
+  }
+  account_register("outside", 999, 1);  // after scope: dropped
+  EXPECT_EQ(acct.total_registers(), 4u);   // 1 + 3
+  EXPECT_EQ(acct.total_bits(), 106u);      // 100 + 3*2
+}
+
+TEST(SpaceAccountingTest, ModelBitsFollowCitedFormulas) {
+  SpaceAccountant acct;
+  {
+    ScopedSpaceAccounting scope(acct);
+    account_register("single_reader", 10, 1);  // Tromp: B bits
+    account_register("multi_reader", 10, 3);   // SAG: R^2 + B*R = 9 + 30
+  }
+  EXPECT_EQ(acct.model_swsr_bits(), 10u + 39u);
+}
+
+TEST(SpaceAccountingTest, RollupGroupsByLabel) {
+  SpaceAccountant acct;
+  {
+    ScopedSpaceAccounting scope(acct);
+    account_register("Z", 2, 1);
+    account_register("Z", 2, 1);
+    account_register("Y0", 64, 2);
+  }
+  const auto rollup = acct.rollup();
+  ASSERT_EQ(rollup.size(), 2u);
+  // std::map orders alphabetically: Y0 before Z.
+  EXPECT_EQ(rollup[0].label, "Y0");
+  EXPECT_EQ(rollup[0].registers, 1u);
+  EXPECT_EQ(rollup[1].label, "Z");
+  EXPECT_EQ(rollup[1].registers, 2u);
+  EXPECT_EQ(rollup[1].bits, 4u);
+}
+
+TEST(SpaceAccountingTest, ScopesNest) {
+  SpaceAccountant outer_acct;
+  SpaceAccountant inner_acct;
+  {
+    ScopedSpaceAccounting outer(outer_acct);
+    account_register("a", 1, 1);
+    {
+      ScopedSpaceAccounting inner(inner_acct);
+      account_register("b", 1, 1);
+    }
+    account_register("c", 1, 1);
+  }
+  EXPECT_EQ(outer_acct.total_registers(), 2u);
+  EXPECT_EQ(inner_acct.total_registers(), 1u);
+}
+
+}  // namespace
+}  // namespace compreg

@@ -1,0 +1,193 @@
+// verify_fuzz: long-running randomized verification driver.
+//
+// Continuously generates executions of a chosen snapshot implementation
+// under randomized simulator schedules (and optionally native stressed
+// threads), checks every history against the Shrinking Lemma, and — on
+// the first violation — prints the seed and the full history in the
+// lin::dump format so it can be replayed.
+//
+// Usage:
+//   verify_fuzz [--impl anderson|afek|unbounded|doublecollect|fullstack|mw]
+//               [--components N] [--readers N] [--iters N] [--seed N]
+//               [--ops N] [--native] [--witness] [--stats]
+//
+// --impl mw fuzzes the multi-writer reduction (native threads, 3
+// processes). Exit code 0 = all iterations clean; 1 = violation found.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/afek_snapshot.h"
+#include "baselines/double_collect.h"
+#include "baselines/unbounded_helping.h"
+#include "core/composite_register.h"
+#include "core/multi_writer.h"
+#include "lin/dump.h"
+#include "lin/shrinking_checker.h"
+#include "lin/stats.h"
+#include "lin/witness.h"
+#include "lin/workload.h"
+#include "sched/policy.h"
+#include "theory/theory_cell.h"
+
+namespace {
+
+using compreg::core::Snapshot;
+
+std::unique_ptr<Snapshot<std::uint64_t>> make_impl(const std::string& name,
+                                                   int c, int r) {
+  if (name == "anderson") {
+    return std::make_unique<compreg::core::CompositeRegister<std::uint64_t>>(
+        c, r, 0);
+  }
+  if (name == "fullstack") {
+    return std::make_unique<compreg::core::CompositeRegister<
+        std::uint64_t, compreg::theory::TheoryCell,
+        compreg::theory::TheoryCell>>(c, r, 0);
+  }
+  if (name == "afek") {
+    return std::make_unique<compreg::baselines::AfekSnapshot<std::uint64_t>>(
+        c, r, 0);
+  }
+  if (name == "unbounded") {
+    return std::make_unique<
+        compreg::baselines::UnboundedHelpingSnapshot<std::uint64_t>>(c, r, 0);
+  }
+  if (name == "doublecollect") {
+    return std::make_unique<
+        compreg::baselines::DoubleCollectSnapshot<std::uint64_t>>(c, r, 0);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string impl = "anderson";
+  int components = 3;
+  int readers = 2;
+  std::uint64_t iters = 200;
+  std::uint64_t seed = 1;
+  int ops = 10;
+  bool native = false;
+  bool witness = false;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--impl")) {
+      impl = next("--impl");
+    } else if (!std::strcmp(argv[i], "--components")) {
+      components = std::atoi(next("--components"));
+    } else if (!std::strcmp(argv[i], "--readers")) {
+      readers = std::atoi(next("--readers"));
+    } else if (!std::strcmp(argv[i], "--iters")) {
+      iters = std::strtoull(next("--iters"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--ops")) {
+      ops = std::atoi(next("--ops"));
+    } else if (!std::strcmp(argv[i], "--native")) {
+      native = true;
+    } else if (!std::strcmp(argv[i], "--witness")) {
+      witness = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      stats = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (native && impl == "fullstack") {
+    std::fprintf(stderr,
+                 "fullstack is simulator-only (its primitives rely on "
+                 "serialized steps)\n");
+    return 2;
+  }
+
+  std::printf("verify_fuzz: impl=%s C=%d R=%d iters=%llu base_seed=%llu "
+              "ops=%d mode=%s%s\n",
+              impl.c_str(), components, readers,
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(seed), ops,
+              (native || impl == "mw") ? "native" : "sim",
+              witness ? " +witness" : "");
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t it_seed = seed + i;
+    compreg::lin::History h;
+    if (impl == "mw") {
+      compreg::core::MultiWriterSnapshot<std::uint64_t> snap(
+          components, /*processes=*/3, readers, 0);
+      compreg::lin::MwWorkloadConfig cfg;
+      cfg.writes_per_process = ops;
+      cfg.scans_per_reader = ops;
+      cfg.stress_permille = 150;
+      cfg.seed = it_seed;
+      h = compreg::lin::run_native_workload_mw(snap, cfg);
+    } else if (native) {
+      auto snap = make_impl(impl, components, readers);
+      if (!snap) {
+        std::fprintf(stderr, "unknown impl '%s'\n", impl.c_str());
+        return 2;
+      }
+      compreg::lin::WorkloadConfig cfg;
+      cfg.writes_per_writer = ops;
+      cfg.scans_per_reader = ops;
+      cfg.stress_permille = 150;
+      cfg.seed = it_seed;
+      h = compreg::lin::run_native_workload(*snap, cfg);
+    } else {
+      auto snap = make_impl(impl, components, readers);
+      if (!snap) {
+        std::fprintf(stderr, "unknown impl '%s'\n", impl.c_str());
+        return 2;
+      }
+      compreg::sched::RandomPolicy policy(it_seed);
+      compreg::lin::WorkloadConfig cfg;
+      cfg.writes_per_writer = ops;
+      cfg.scans_per_reader = ops;
+      h = compreg::lin::run_sim_workload(*snap, policy, cfg);
+    }
+    if (stats && i == 0) {
+      std::printf("  first history: %s\n",
+                  compreg::lin::compute_stats(h).summary().c_str());
+    }
+    const compreg::lin::CheckResult result =
+        compreg::lin::check_shrinking_lemma(h);
+    if (!result.ok) {
+      std::printf("VIOLATION at seed %llu: %s\n",
+                  static_cast<unsigned long long>(it_seed),
+                  result.violation.c_str());
+      std::printf("# replayable history follows\n");
+      compreg::lin::dump_history(h, std::cout);
+      return 1;
+    }
+    if (witness) {
+      const compreg::lin::Witness w = compreg::lin::build_linearization(h);
+      if (!w.ok) {
+        std::printf("WITNESS FAILURE at seed %llu: %s\n",
+                    static_cast<unsigned long long>(it_seed),
+                    w.error.c_str());
+        compreg::lin::dump_history(h, std::cout);
+        return 1;
+      }
+    }
+    if ((i + 1) % 50 == 0) {
+      std::printf("  %llu/%llu clean\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(iters));
+    }
+  }
+  std::printf("all %llu executions linearizable\n",
+              static_cast<unsigned long long>(iters));
+  return 0;
+}
