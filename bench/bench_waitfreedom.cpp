@@ -21,6 +21,8 @@
 #include "baselines/seqlock_snapshot.h"
 #include "baselines/unbounded_helping.h"
 #include "core/composite_register.h"
+#include "fault/fault_plan.h"
+#include "fault/fault_policy.h"
 #include "sched/policy.h"
 #include "sched/sim_scheduler.h"
 #include "util/op_counter.h"
@@ -137,11 +139,123 @@ void part2() {
               "aborted)\n");
 }
 
+// One adversary run with the writer (proc 0) crash-stopped after
+// `crash_at` of its schedule points; returns the scanner's base-op
+// cost for the scan it still completes.
+template <typename Snap>
+std::uint64_t crashed_writer_scan_ops(Snap& snap, int writer_iters,
+                                      std::uint64_t crash_at) {
+  sched::RoundRobinPolicy base;
+  fault::FaultPlan plan;
+  plan.crashes.push_back(fault::CrashSpec{0, crash_at});
+  fault::FaultInjectingPolicy policy(base, plan);
+  sched::SimScheduler sim(policy);
+  std::uint64_t ops = 0;
+  sim.spawn([&] {
+    for (std::uint64_t i = 1; i <= static_cast<std::uint64_t>(writer_iters);
+         ++i) {
+      snap.update(0, i);
+      snap.update(1, i);
+    }
+  });
+  sim.spawn([&] {
+    OpWindow win;
+    std::vector<core::Item<std::uint64_t>> out;
+    snap.scan_items(0, out);
+    ops = win.delta().total();
+  });
+  policy.attach(sim);
+  sim.run();
+  return ops;
+}
+
+// Sweeps every crash point of the writer; returns {min, max} scanner
+// cost across the sweep.
+template <typename MakeSnap>
+std::pair<std::uint64_t, std::uint64_t> crash_sweep_scan_ops(
+    MakeSnap make_snap, int writer_iters) {
+  // Fault-free baseline to learn how many points the writer takes.
+  std::uint64_t writer_points = 0;
+  {
+    auto snap = make_snap();
+    sched::RoundRobinPolicy base;
+    sched::SimScheduler sim(base);
+    sim.spawn([&] {
+      for (std::uint64_t i = 1;
+           i <= static_cast<std::uint64_t>(writer_iters); ++i) {
+        snap->update(0, i);
+        snap->update(1, i);
+      }
+    });
+    sim.spawn([&] {
+      std::vector<core::Item<std::uint64_t>> out;
+      snap->scan_items(0, out);
+    });
+    sim.run();
+    for (int p : sim.trace()) {
+      if (p == 0) ++writer_points;
+    }
+  }
+  std::uint64_t lo = ~std::uint64_t{0};
+  std::uint64_t hi = 0;
+  for (std::uint64_t n = 0; n < writer_points; ++n) {
+    auto snap = make_snap();
+    const std::uint64_t ops = crashed_writer_scan_ops(*snap, writer_iters, n);
+    lo = std::min(lo, ops);
+    hi = std::max(hi, ops);
+  }
+  return {lo, hi};
+}
+
+void part3() {
+  std::printf("-- Part 3: crash sweep (C=2; writer crash-stopped at every "
+              "one of its schedule points; scanner cost per sweep) --\n");
+  std::printf("%20s %12s %12s\n", "impl", "min ops", "max ops");
+  const int iters = 6;
+  {
+    auto r = crash_sweep_scan_ops(
+        [] {
+          return std::make_unique<
+              baselines::DoubleCollectSnapshot<std::uint64_t>>(2, 1, 0);
+        },
+        iters);
+    std::printf("%20s %12" PRIu64 " %12" PRIu64 "\n", "double-collect",
+                r.first, r.second);
+  }
+  {
+    auto r = crash_sweep_scan_ops(
+        [] {
+          return std::make_unique<
+              baselines::UnboundedHelpingSnapshot<std::uint64_t>>(2, 1, 0);
+        },
+        iters);
+    std::printf("%20s %12" PRIu64 " %12" PRIu64 "\n", "unbounded-helping",
+                r.first, r.second);
+  }
+  {
+    auto r = crash_sweep_scan_ops(
+        [] {
+          return std::make_unique<core::CompositeRegister<std::uint64_t>>(
+              2, 1, 0);
+        },
+        iters);
+    std::printf("%20s %12" PRIu64 " %12" PRIu64 "\n", "anderson", r.first,
+                r.second);
+    const std::uint64_t tr =
+        core::CompositeRegister<std::uint64_t>::read_cost(2, 1);
+    std::printf("(anderson min == max == TR(2,1) = %" PRIu64
+                ": the scan costs exactly TR no matter where the writer "
+                "dies%s)\n",
+                tr, (r.first == tr && r.second == tr) ? "" : " -- VIOLATED");
+  }
+}
+
 }  // namespace
 
 int main() {
   std::printf("E5: wait-freedom under writer pressure\n\n");
   part1();
   part2();
+  part3();
   return 0;
 }

@@ -1,0 +1,119 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace compreg::fault {
+namespace {
+
+// Parses "<int>@<u64>" or "<int>@<u64>+<u64>"; returns false on junk.
+bool parse_spec_body(const std::string& body, int& proc, std::uint64_t& a,
+                     std::uint64_t* b) {
+  const std::size_t at = body.find('@');
+  if (at == std::string::npos || at == 0) return false;
+  try {
+    std::size_t used = 0;
+    proc = std::stoi(body.substr(0, at), &used);
+    if (used != at || proc < 0) return false;
+    const std::string rest = body.substr(at + 1);
+    const std::size_t plus = rest.find('+');
+    if (b == nullptr) {
+      if (plus != std::string::npos) return false;
+      a = std::stoull(rest, &used);
+      return used == rest.size();
+    }
+    if (plus == std::string::npos || plus == 0) return false;
+    a = std::stoull(rest.substr(0, plus), &used);
+    if (used != plus) return false;
+    const std::string len = rest.substr(plus + 1);
+    *b = std::stoull(len, &used);
+    return used == len.size() && !len.empty();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::vector<int> FaultPlan::doomed() const {
+  std::vector<int> out;
+  for (const CrashSpec& c : crashes) out.push_back(c.proc);
+  for (const HangSpec& h : hangs) out.push_back(h.proc);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const CrashSpec& c : crashes) {
+    sep();
+    os << "crash:" << c.proc << '@' << c.after_points;
+  }
+  for (const StallSpec& s : stalls) {
+    sep();
+    os << "stall:" << s.proc << '@' << s.at_step << '+' << s.duration;
+  }
+  for (const HangSpec& h : hangs) {
+    sep();
+    os << "hang:" << h.proc << '@' << h.after_points;
+  }
+  return os.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text) {
+  // Strict: no empty input, no empty specs (",," or trailing comma).
+  if (text.empty() || text.back() == ',') return std::nullopt;
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string spec;
+  while (std::getline(is, spec, ',')) {
+    if (spec.empty()) return std::nullopt;
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    const std::string kind = spec.substr(0, colon);
+    const std::string body = spec.substr(colon + 1);
+    int proc = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (kind == "crash") {
+      if (!parse_spec_body(body, proc, a, nullptr)) return std::nullopt;
+      plan.crashes.push_back(CrashSpec{proc, a});
+    } else if (kind == "stall") {
+      if (!parse_spec_body(body, proc, a, &b)) return std::nullopt;
+      plan.stalls.push_back(StallSpec{proc, a, b});
+    } else if (kind == "hang") {
+      if (!parse_spec_body(body, proc, a, nullptr)) return std::nullopt;
+      plan.hangs.push_back(HangSpec{proc, a});
+    } else {
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(Rng& rng, int num_procs, std::uint64_t max_points,
+                            unsigned crash_permille, unsigned stall_permille) {
+  FaultPlan plan;
+  if (max_points == 0) max_points = 1;
+  for (int p = 0; p < num_procs; ++p) {
+    if (crash_permille != 0 && rng.chance(crash_permille, 1000)) {
+      plan.crashes.push_back(CrashSpec{p, rng.below(max_points)});
+    }
+  }
+  if (stall_permille != 0 && num_procs > 0 &&
+      rng.chance(stall_permille, 1000)) {
+    const int victim = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(num_procs)));
+    plan.stalls.push_back(StallSpec{victim, rng.below(max_points),
+                                    1 + rng.below(2 * max_points)});
+  }
+  return plan;
+}
+
+}  // namespace compreg::fault

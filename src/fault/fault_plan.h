@@ -1,0 +1,75 @@
+// Fault plans: declarative crash-stop / stall / hang schedules.
+//
+// A FaultPlan describes which processes fail and where, in terms of the
+// deterministic simulator's schedule points, so a failure scenario is
+// as replayable as the schedule itself:
+//
+//   crash p after n points   process p completes exactly n shared
+//                            accesses, then its next granted access
+//                            never executes (crash-stop, the paper's
+//                            halting failure; same semantics as
+//                            sched::park_after(n));
+//   stall p at s for k       for the k policy decisions starting at
+//                            global decision s, p is never scheduled
+//                            (an adversarial scheduler starving p —
+//                            unless p is the only runnable process);
+//   hang p after n points    like crash, but the process blocks inside
+//                            the library without ever returning control
+//                            — the run wedges. Models a hung native
+//                            run; exists to exercise watchdogs.
+//
+// Text grammar (one spec per element, comma separated):
+//   crash:<proc>@<points> | stall:<proc>@<step>+<len> | hang:<proc>@<points>
+// e.g. "crash:0@4,stall:2@10+32". parse() and to_string() round-trip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace compreg::fault {
+
+struct CrashSpec {
+  int proc = 0;
+  std::uint64_t after_points = 0;  // completed accesses before the crash
+};
+
+struct StallSpec {
+  int proc = 0;
+  std::uint64_t at_step = 0;    // first stalled global policy decision
+  std::uint64_t duration = 0;   // number of stalled decisions
+};
+
+struct HangSpec {
+  int proc = 0;
+  std::uint64_t after_points = 0;
+};
+
+struct FaultPlan {
+  std::vector<CrashSpec> crashes;
+  std::vector<StallSpec> stalls;
+  std::vector<HangSpec> hangs;
+
+  bool empty() const {
+    return crashes.empty() && stalls.empty() && hangs.empty();
+  }
+
+  // All processes named by a crash or hang spec (the ones that will not
+  // survive the run), deduplicated.
+  std::vector<int> doomed() const;
+
+  std::string to_string() const;
+  static std::optional<FaultPlan> parse(const std::string& text);
+
+  // Random single-iteration chaos plan: each of `num_procs` processes
+  // crashes with probability crash_permille/1000 at a point uniform in
+  // [0, max_points), and one process is stalled with probability
+  // stall_permille/1000 for a random window. Deterministic in `rng`.
+  static FaultPlan random(Rng& rng, int num_procs, std::uint64_t max_points,
+                          unsigned crash_permille, unsigned stall_permille);
+};
+
+}  // namespace compreg::fault

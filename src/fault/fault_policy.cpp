@@ -1,0 +1,57 @@
+#include "fault/fault_policy.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace compreg::fault {
+
+int FaultInjectingPolicy::pick(const std::vector<int>& runnable) {
+  COMPREG_CHECK(!runnable.empty());
+
+  // Stalls: hide stalled processes from the base policy. A stall may
+  // never block the whole system — if every runnable process is
+  // stalled, the adversary must schedule someone (the simulator has no
+  // idle steps), so fall back to the unfiltered set.
+  filtered_.clear();
+  for (int id : runnable) {
+    bool stalled = false;
+    for (const StallSpec& s : plan_.stalls) {
+      if (s.proc == id && step_ >= s.at_step &&
+          step_ < s.at_step + s.duration) {
+        stalled = true;
+        break;
+      }
+    }
+    if (!stalled) filtered_.push_back(id);
+  }
+  const std::vector<int>& visible = filtered_.empty() ? runnable : filtered_;
+
+  const int choice = inner_.pick(visible);
+  ++step_;
+  if (choice >= static_cast<int>(granted_.size())) {
+    granted_.resize(static_cast<std::size_t>(choice) + 1, 0);
+  }
+  const std::uint64_t nth = granted_[static_cast<std::size_t>(choice)]++;
+
+  // Crash/hang: this grant is the process's nth schedule point
+  // (0-based), i.e. it has completed `nth` accesses. A spec with
+  // after_points == nth means this access must never execute.
+  for (const CrashSpec& c : plan_.crashes) {
+    if (c.proc == choice && c.after_points == nth) {
+      COMPREG_CHECK(sim_ != nullptr,
+                    "FaultInjectingPolicy with crash specs needs attach()");
+      sim_->inject_crash_on_next_grant(choice);
+    }
+  }
+  for (const HangSpec& h : plan_.hangs) {
+    if (h.proc == choice && h.after_points == nth) {
+      COMPREG_CHECK(sim_ != nullptr,
+                    "FaultInjectingPolicy with hang specs needs attach()");
+      sim_->inject_hang_on_next_grant(choice);
+    }
+  }
+  return choice;
+}
+
+}  // namespace compreg::fault

@@ -1,0 +1,53 @@
+// FaultInjectingPolicy: a SchedulePolicy decorator that executes a
+// FaultPlan against any base policy.
+//
+// The decorator delegates every scheduling decision to the wrapped
+// policy but (a) withholds stalled processes from the runnable set the
+// base policy sees, and (b) when the base policy grants a process the
+// schedule point its crash/hang spec names, arms the scheduler-side
+// fault so that granted access never executes. Crash points are counted
+// per process (a process's n-th schedule point), stalls in global
+// policy decisions — both deterministic functions of the schedule, so
+// (policy seed, plan) replays a failure scenario exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "sched/policy.h"
+#include "sched/sim_scheduler.h"
+
+namespace compreg::fault {
+
+class FaultInjectingPolicy final : public sched::SchedulePolicy {
+ public:
+  FaultInjectingPolicy(sched::SchedulePolicy& inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)) {}
+
+  // Crash/hang specs arm faults inside the scheduler; attach() wires it
+  // up. Must be called before run() when the plan contains any.
+  void attach(sched::SimScheduler& sim) { sim_ = &sim; }
+
+  int pick(const std::vector<int>& runnable) override;
+
+  // Schedule points granted to `proc` so far.
+  std::uint64_t points_granted(int proc) const {
+    return proc < static_cast<int>(granted_.size())
+               ? granted_[static_cast<std::size_t>(proc)]
+               : 0;
+  }
+
+  // Global policy decisions taken so far.
+  std::uint64_t step() const { return step_; }
+
+ private:
+  sched::SchedulePolicy& inner_;
+  FaultPlan plan_;
+  sched::SimScheduler* sim_ = nullptr;
+  std::vector<std::uint64_t> granted_;
+  std::uint64_t step_ = 0;
+  std::vector<int> filtered_;  // scratch
+};
+
+}  // namespace compreg::fault

@@ -27,7 +27,13 @@ void dump_history(const History& h, std::ostream& os) {
     os << "\n";
   }
   for (const ReadRec& r : h.reads) {
-    os << "r " << r.proc << ' ' << r.start << ' ' << r.end << " ids";
+    os << "r " << r.proc << ' ' << r.start << ' ';
+    if (r.end == kPendingEnd) {
+      os << kPendingToken;
+    } else {
+      os << r.end;
+    }
+    os << " ids";
     for (std::uint64_t id : r.ids) os << ' ' << id;
     os << " vals";
     for (std::uint64_t v : r.values) os << ' ' << v;
@@ -83,20 +89,46 @@ std::optional<History> parse_history(std::istream& is) {
     } else if (tag == "r") {
       if (!have_header) return std::nullopt;
       ReadRec r;
+      std::string end_tok;
       std::string marker;
-      if (!(ls >> r.proc >> r.start >> r.end >> marker) || marker != "ids") {
+      if (!(ls >> r.proc >> r.start >> end_tok >> marker) ||
+          marker != "ids") {
         return std::nullopt;
       }
-      for (int k = 0; k < h.components; ++k) {
-        std::uint64_t id;
-        if (!(ls >> id)) return std::nullopt;
-        r.ids.push_back(id);
+      if (end_tok == kPendingToken) {
+        r.end = kPendingEnd;
+      } else {
+        try {
+          r.end = std::stoull(end_tok);
+        } catch (...) {
+          return std::nullopt;
+        }
       }
-      if (!(ls >> marker) || marker != "vals") return std::nullopt;
-      for (int k = 0; k < h.components; ++k) {
-        std::uint64_t v;
-        if (!(ls >> v)) return std::nullopt;
-        r.values.push_back(v);
+      // A crashed Read may have recorded fewer than C ids (usually
+      // none); completed Reads must carry exactly C.
+      std::string tok;
+      bool saw_vals = false;
+      while (ls >> tok) {
+        if (tok == "vals") {
+          saw_vals = true;
+          break;
+        }
+        try {
+          r.ids.push_back(std::stoull(tok));
+        } catch (...) {
+          return std::nullopt;
+        }
+      }
+      if (!saw_vals) return std::nullopt;
+      std::uint64_t v;
+      while (ls >> v) r.values.push_back(v);
+      const std::size_t cu = static_cast<std::size_t>(h.components);
+      if (r.end != kPendingEnd &&
+          (r.ids.size() != cu || r.values.size() != cu)) {
+        return std::nullopt;
+      }
+      if (r.ids.size() > cu || r.values.size() != r.ids.size()) {
+        return std::nullopt;
       }
       h.reads.push_back(std::move(r));
     } else {

@@ -6,7 +6,9 @@
 //   history <components>
 //   init <v0> <v1> ...
 //   w <proc> <component> <id> <value> <start> <end|pending>
-//   r <proc> <start> <end> ids <i0> <i1> ... vals <v0> <v1> ...
+//   r <proc> <start> <end|pending> ids <i0> <i1> ... vals <v0> <v1> ...
+// (a pending read — its process crashed mid-Read — may carry fewer
+// than C ids/vals, usually none)
 #pragma once
 
 #include <iosfwd>

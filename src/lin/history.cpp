@@ -24,6 +24,33 @@ void HistoryRecorder::record_read(int proc, ReadRec rec) {
   buffers_[static_cast<std::size_t>(proc)]->reads.push_back(std::move(rec));
 }
 
+bool History::has_pending_reads() const {
+  for (const ReadRec& r : reads) {
+    if (r.end == kPendingEnd) return true;
+  }
+  return false;
+}
+
+std::size_t History::completed_reads() const {
+  std::size_t n = 0;
+  for (const ReadRec& r : reads) {
+    if (r.end != kPendingEnd) ++n;
+  }
+  return n;
+}
+
+History without_pending_reads(const History& h) {
+  History out;
+  out.components = h.components;
+  out.initial = h.initial;
+  out.writes = h.writes;
+  out.reads.reserve(h.reads.size());
+  for (const ReadRec& r : h.reads) {
+    if (r.end != kPendingEnd) out.reads.push_back(r);
+  }
+  return out;
+}
+
 History HistoryRecorder::merge() const {
   History h;
   h.components = components_;

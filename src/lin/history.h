@@ -18,9 +18,11 @@
 namespace compreg::lin {
 
 // end == kPendingEnd marks an operation whose process halted before
-// completing it (fault injection): it precedes nothing, and a
-// linearization may or may not include its effect — unless some Read
-// returned its value, in which case the checkers require it to fit.
+// completing it (fault injection). A pending Write precedes nothing,
+// and a linearization may or may not include its effect — unless some
+// Read returned its value, in which case the checkers require it to
+// fit. A pending Read returned nothing, so it imposes no conditions at
+// all: the checkers ignore it (its ids/values may be empty).
 inline constexpr std::uint64_t kPendingEnd = ~std::uint64_t{0};
 
 struct WriteRec {
@@ -30,14 +32,18 @@ struct WriteRec {
   std::uint64_t start = 0;
   std::uint64_t end = 0;    // kPendingEnd if the writer halted mid-op
   int proc = 0;
+  // Base-register operations this Write performed (for wait-freedom
+  // certification); 0 when the driver did not measure it.
+  std::uint64_t cost = 0;
 };
 
 struct ReadRec {
   std::vector<std::uint64_t> ids;     // phi_k(r) per component
   std::vector<std::uint64_t> values;  // output values per component
   std::uint64_t start = 0;
-  std::uint64_t end = 0;
+  std::uint64_t end = 0;              // kPendingEnd if the reader halted
   int proc = 0;
+  std::uint64_t cost = 0;             // see WriteRec::cost
 };
 
 struct History {
@@ -47,7 +53,16 @@ struct History {
   std::vector<ReadRec> reads;
 
   std::size_t size() const { return writes.size() + reads.size(); }
+
+  bool has_pending_reads() const;
+  std::size_t completed_reads() const;
 };
+
+// Copy of h without its pending Reads. A Read whose process crashed
+// mid-operation returned nothing, so the Shrinking Lemma conditions —
+// which quantify over the values Reads returned — say nothing about
+// it; the checkers drop such records before checking.
+History without_pending_reads(const History& h);
 
 // Shared logical clock; one tick per invocation/response event.
 class LogicalClock {

@@ -15,6 +15,11 @@
 //   Write Precedence a Read that reflects w also reflects everything
 //                   that precedes w.
 //
+// Crash-stop failures are first-class: a pending Write (end ==
+// kPendingEnd) participates as an interval that never closes — its
+// effect is constrained only if some Read returned it — and a pending
+// Read, which returned nothing, is ignored entirely.
+//
 // The lemma proves these suffice for linearizability, so a passing
 // history is linearizable — this is the paper's own correctness
 // argument executed mechanically per execution. check() runs in

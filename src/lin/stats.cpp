@@ -30,8 +30,10 @@ HistoryStats compute_stats(const History& h) {
     horizon = std::max(horizon, w.start);
   }
   for (const ReadRec& r : h.reads) {
+    if (r.end == kPendingEnd) ++stats.pending_reads;
     ops.push_back(Interval{r.start, r.end, true});
-    horizon = std::max(horizon, r.end);
+    if (r.end != kPendingEnd) horizon = std::max(horizon, r.end);
+    horizon = std::max(horizon, r.start);
   }
   if (ops.empty()) return stats;
 
@@ -118,7 +120,8 @@ HistoryStats compute_stats(const History& h) {
 std::string HistoryStats::summary() const {
   std::ostringstream os;
   os << writes << " writes (" << pending_writes << " pending), " << reads
-     << " reads; max concurrency " << max_concurrency << ", mean "
+     << " reads (" << pending_reads << " pending)"
+     << "; max concurrency " << max_concurrency << ", mean "
      << mean_concurrency << ", overlapping pairs " << overlapping_pairs
      << ", contended reads " << contended_reads;
   return os.str();

@@ -18,6 +18,7 @@ struct HistoryStats {
   std::size_t writes = 0;
   std::size_t reads = 0;
   std::size_t pending_writes = 0;
+  std::size_t pending_reads = 0;
 
   // Maximum number of operations in flight at one instant.
   std::size_t max_concurrency = 0;

@@ -38,6 +38,7 @@ struct Searcher {
       ops.push_back(std::move(op));
     }
     for (const ReadRec& r : h.reads) {
+      if (r.end == kPendingEnd) continue;  // crashed Read: returned nothing
       Op op;
       op.is_write = false;
       op.values = r.values;

@@ -29,6 +29,9 @@ Witness build_linearization(const History& h) {
   }
   for (std::size_t i = 0; i < h.reads.size(); ++i) {
     const ReadRec& r = h.reads[i];
+    // A crashed Read returned nothing: there is nothing to order or to
+    // replay, so it does not appear in the witness.
+    if (r.end == kPendingEnd) continue;
     nodes.push_back(Node{false, i, -1, 0, r.start, r.end});
   }
   const std::size_t n = nodes.size();
@@ -121,7 +124,7 @@ Witness build_linearization(const History& h) {
 
 CheckResult validate_linearization(const History& h,
                                    const std::vector<WitnessOp>& order) {
-  if (order.size() != h.size()) {
+  if (order.size() != h.writes.size() + h.completed_reads()) {
     return CheckResult{false, "witness length mismatch"};
   }
   std::vector<std::uint64_t> state = h.initial;
@@ -141,6 +144,9 @@ CheckResult validate_linearization(const History& h,
       }
       seen_read[op.index] = true;
       const ReadRec& r = h.reads[op.index];
+      if (r.end == kPendingEnd) {
+        return CheckResult{false, "witness includes a pending read"};
+      }
       for (std::size_t k = 0; k < state.size(); ++k) {
         if (r.values[k] != state[k]) {
           return CheckResult{

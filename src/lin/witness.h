@@ -41,7 +41,8 @@ struct Witness {
 };
 
 // Builds and validates a linearization witness. Pending writes
-// (end == kPendingEnd) participate like ordinary writes.
+// (end == kPendingEnd) participate like ordinary writes; pending reads
+// returned nothing and are excluded from the witness.
 Witness build_linearization(const History& h);
 
 // Replays `order` against the sequential specification; returns ok iff

@@ -6,6 +6,7 @@
 #include "sched/schedule_point.h"
 #include "sched/sim_scheduler.h"
 #include "util/barrier.h"
+#include "util/op_counter.h"
 #include "util/rng.h"
 
 namespace compreg::lin {
@@ -13,6 +14,7 @@ namespace {
 
 void writer_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
                  int component, const WorkloadConfig& cfg) {
+  std::uint64_t last_id = 0;
   for (int i = 1; i <= cfg.writes_per_writer; ++i) {
     const std::uint64_t value =
         write_value(component, static_cast<std::uint64_t>(i));
@@ -21,8 +23,22 @@ void writer_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
     w.value = value;
     w.proc = component;
     w.start = rec.clock().tick();
-    w.id = snap.update(component, value);
+    OpWindow win;
+    try {
+      w.id = snap.update(component, value);
+    } catch (const sched::ProcessParked&) {
+      // Crash-stop mid-Write: record it as pending with the id it was
+      // being assigned (per-component write ids are sequential), so the
+      // checkers can account for its effect if a Read observed it.
+      w.id = last_id + 1;
+      w.end = kPendingEnd;
+      w.cost = win.delta().total();
+      rec.record_write(component, w);
+      throw;
+    }
+    w.cost = win.delta().total();
     w.end = rec.clock().tick();
+    last_id = w.id;
     rec.record_write(component, w);
     if (cfg.burst > 0 && i % cfg.burst == 0) {
       for (unsigned spin = 0; spin < cfg.pause_spins; ++spin) {
@@ -40,7 +56,18 @@ void reader_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
     ReadRec r;
     r.proc = proc;
     r.start = rec.clock().tick();
-    snap.scan_items(reader, items);
+    OpWindow win;
+    try {
+      snap.scan_items(reader, items);
+    } catch (const sched::ProcessParked&) {
+      // Crash-stop mid-Read: it returned nothing; record the pending
+      // interval with no ids/values.
+      r.end = kPendingEnd;
+      r.cost = win.delta().total();
+      rec.record_read(proc, r);
+      throw;
+    }
+    r.cost = win.delta().total();
     r.end = rec.clock().tick();
     r.ids.resize(items.size());
     r.values.resize(items.size());
@@ -86,9 +113,10 @@ History run_native_workload(core::Snapshot<std::uint64_t>& snap,
   return rec.merge();
 }
 
-History run_sim_workload(core::Snapshot<std::uint64_t>& snap,
-                         sched::SchedulePolicy& policy,
-                         const WorkloadConfig& cfg) {
+History run_sim_workload(
+    core::Snapshot<std::uint64_t>& snap, sched::SchedulePolicy& policy,
+    const WorkloadConfig& cfg,
+    const std::function<void(sched::SimScheduler&)>& on_sim) {
   const int c = snap.components();
   const int r = snap.readers();
   HistoryRecorder rec(c, std::vector<std::uint64_t>(
@@ -101,6 +129,7 @@ History run_sim_workload(core::Snapshot<std::uint64_t>& snap,
   for (int j = 0; j < r; ++j) {
     sim.spawn([&, j] { reader_body(snap, rec, j, cfg.scans_per_reader); });
   }
+  if (on_sim) on_sim(sim);
   sim.run();
   return rec.merge();
 }

@@ -1,13 +1,23 @@
 // Workload drivers: run concurrent Read/Write traffic against any
 // Snapshot implementation and record the history for the checkers.
+//
+// The drivers are crash-aware: when fault injection parks a process
+// mid-operation (sched::ProcessParked), the interrupted operation is
+// recorded as pending (end == lin::kPendingEnd) before the process
+// halts — a pending Write carries the id it would have been assigned
+// (ids are per-component sequential in every implementation here), a
+// pending Read carries no ids/values. Every record also carries the
+// operation's base-register cost for wait-freedom certification.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/multi_writer.h"
 #include "core/snapshot.h"
 #include "lin/history.h"
 #include "sched/policy.h"
+#include "sched/sim_scheduler.h"
 
 namespace compreg::lin {
 
@@ -38,10 +48,14 @@ History run_native_workload(core::Snapshot<std::uint64_t>& snap,
 
 // Same process structure under the deterministic simulator; the policy
 // decides every step. The entire execution is serialized, so this is
-// for schedule-sensitive verification rather than throughput.
-History run_sim_workload(core::Snapshot<std::uint64_t>& snap,
-                         sched::SchedulePolicy& policy,
-                         const WorkloadConfig& cfg);
+// for schedule-sensitive verification rather than throughput. `on_sim`,
+// when set, is invoked after the processes are spawned and before
+// run() — fault::FaultInjectingPolicy uses it to attach its crash
+// hooks to the scheduler.
+History run_sim_workload(
+    core::Snapshot<std::uint64_t>& snap, sched::SchedulePolicy& policy,
+    const WorkloadConfig& cfg,
+    const std::function<void(sched::SimScheduler&)>& on_sim = {});
 
 struct MwWorkloadConfig {
   int writes_per_process = 50;

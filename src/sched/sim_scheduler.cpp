@@ -1,5 +1,7 @@
 #include "sched/sim_scheduler.h"
 
+#include <sstream>
+
 #include "util/assert.h"
 
 namespace compreg::sched {
@@ -20,6 +22,18 @@ int SimScheduler::spawn(std::function<void()> body) {
   return id;
 }
 
+void SimScheduler::inject_crash_on_next_grant(int proc) {
+  COMPREG_CHECK(proc >= 0 && proc < static_cast<int>(procs_.size()),
+                "inject_crash_on_next_grant: no process %d", proc);
+  procs_[static_cast<std::size_t>(proc)].crash_next = true;
+}
+
+void SimScheduler::inject_hang_on_next_grant(int proc) {
+  COMPREG_CHECK(proc >= 0 && proc < static_cast<int>(procs_.size()),
+                "inject_hang_on_next_grant: no process %d", proc);
+  procs_[static_cast<std::size_t>(proc)].hang_next = true;
+}
+
 void SimScheduler::proc_main(int id) {
   ThreadContext& ctx = thread_context();
   ctx.scheduler = this;
@@ -30,6 +44,13 @@ void SimScheduler::proc_main(int id) {
     self.body();
   } catch (const ProcessParked&) {
     // Injected halting failure: the process stops here, mid-operation.
+  } catch (...) {
+    // Anything else is a bug in the process body. Letting it escape
+    // would std::terminate the whole program off this detached-looking
+    // thread; capture it instead and let run() report it after the
+    // remaining processes finish.
+    self.error = std::current_exception();
+    self.error_position = trace_.size();
   }
   self.done = true;
   control_.release();
@@ -37,7 +58,17 @@ void SimScheduler::proc_main(int id) {
 
 void SimScheduler::yield_turn(int proc_id) {
   control_.release();
-  procs_[static_cast<std::size_t>(proc_id)].go.acquire();
+  Proc& self = procs_[static_cast<std::size_t>(proc_id)];
+  self.go.acquire();
+  if (self.hang_next) {
+    // Injected hang: never return control. The run wedges here — this
+    // models a hung native process and exists to exercise watchdogs.
+    for (;;) self.go.acquire();
+  }
+  if (self.crash_next) {
+    self.crash_next = false;
+    throw ProcessParked{};
+  }
 }
 
 void SimScheduler::run() {
@@ -76,6 +107,22 @@ void SimScheduler::run() {
   }
 
   for (Proc& proc : procs_) proc.thread.join();
+
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (!procs_[i].error) continue;
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(procs_[i].error);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    std::ostringstream os;
+    os << "process " << i << " threw out of its body at trace position "
+       << procs_[i].error_position << ": " << what;
+    throw ProcessBodyError(os.str(), static_cast<int>(i),
+                           procs_[i].error_position, procs_[i].error);
+  }
 }
 
 }  // namespace compreg::sched

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <semaphore>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -22,6 +24,24 @@
 #include "sched/schedule_point.h"
 
 namespace compreg::sched {
+
+// A process body let a non-ProcessParked exception escape. The
+// scheduler absorbs it on the process thread (so the lockstep keeps
+// running and every other process finishes), then run() rethrows it
+// wrapped in this, carrying the offender and where in the schedule it
+// died. `original` is the escaped exception for callers that need it.
+struct ProcessBodyError : std::runtime_error {
+  ProcessBodyError(std::string msg, int proc, std::uint64_t position,
+                   std::exception_ptr orig)
+      : std::runtime_error(std::move(msg)),
+        proc_id(proc),
+        trace_position(position),
+        original(std::move(orig)) {}
+
+  int proc_id;
+  std::uint64_t trace_position;  // trace().size() when the body died
+  std::exception_ptr original;
+};
 
 class SimScheduler {
  public:
@@ -35,8 +55,19 @@ class SimScheduler {
   // Returns the process id handed to the policy.
   int spawn(std::function<void()> body);
 
-  // Execute all processes to completion under the policy.
+  // Execute all processes to completion under the policy. Throws
+  // ProcessBodyError after all processes have finished if any body let
+  // an exception other than ProcessParked escape.
   void run();
+
+  // Fault injection (scheduler side, used by fault::FaultInjectingPolicy
+  // and tests): the next turn granted to `proc` does not execute its
+  // access — the process crash-stops there (throws ProcessParked into
+  // it) or hangs forever (blocks without returning control, wedging the
+  // run; only for exercising watchdogs). Call between policy decisions,
+  // i.e. from SchedulePolicy::pick or before run().
+  void inject_crash_on_next_grant(int proc);
+  void inject_hang_on_next_grant(int proc);
 
   // The process id chosen at each schedule point, in order. Useful for
   // asserting that a scripted schedule was actually followed.
@@ -55,6 +86,15 @@ class SimScheduler {
     std::thread thread;
     bool done = false;       // written by proc thread while it holds the turn
     bool started = false;
+    // Injected faults, armed by the control thread before granting the
+    // turn and consumed by the proc thread after acquiring it (the
+    // semaphore handoff orders the accesses).
+    bool crash_next = false;
+    bool hang_next = false;
+    // Set by the proc thread (while holding the turn) when the body let
+    // a non-ProcessParked exception escape; reported from run().
+    std::exception_ptr error;
+    std::uint64_t error_position = 0;
   };
 
   void proc_main(int id);

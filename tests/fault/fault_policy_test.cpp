@@ -1,0 +1,99 @@
+// FaultInjectingPolicy decorator: per-process point accounting, stall
+// windows hiding processes from the base policy, and crash specs
+// parking the victim at exactly the named schedule point.
+#include "fault/fault_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+#include "sched/policy.h"
+#include "sched/schedule_point.h"
+#include "sched/sim_scheduler.h"
+
+namespace compreg::fault {
+namespace {
+
+// Counts how many schedule points a spawned body completes.
+struct PointCounter {
+  std::atomic<int> completed{0};
+  void body(int points) {
+    for (int i = 0; i < points; ++i) {
+      sched::point();
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+TEST(FaultPolicyTest, DelegatesAndCountsPointsWithEmptyPlan) {
+  sched::RoundRobinPolicy base;
+  FaultInjectingPolicy policy(base, FaultPlan{});
+  sched::SimScheduler sim(policy);
+  PointCounter a, b;
+  sim.spawn([&] { a.body(5); });
+  sim.spawn([&] { b.body(3); });
+  sim.run();
+  EXPECT_EQ(a.completed.load(), 5);
+  EXPECT_EQ(b.completed.load(), 3);
+  EXPECT_EQ(policy.points_granted(0), 5u);
+  EXPECT_EQ(policy.points_granted(1), 3u);
+  EXPECT_EQ(policy.step(), 8u);
+}
+
+TEST(FaultPolicyTest, CrashSpecParksVictimAtExactPoint) {
+  for (std::uint64_t n = 0; n < 5; ++n) {
+    sched::RoundRobinPolicy base;
+    FaultPlan plan;
+    plan.crashes.push_back(CrashSpec{0, n});
+    FaultInjectingPolicy policy(base, plan);
+    sched::SimScheduler sim(policy);
+    PointCounter victim, survivor;
+    sim.spawn([&] { victim.body(5); });
+    sim.spawn([&] { survivor.body(5); });
+    policy.attach(sim);
+    sim.run();
+    // The victim completed exactly n accesses; the survivor all 5.
+    EXPECT_EQ(victim.completed.load(), static_cast<int>(n)) << "n=" << n;
+    EXPECT_EQ(survivor.completed.load(), 5) << "n=" << n;
+  }
+}
+
+TEST(FaultPolicyTest, StallWindowKeepsVictimOffCpu) {
+  // Proc 0 is stalled for the first 6 decisions; proc 1 only has 6
+  // points of work, so those decisions must all go to proc 1.
+  sched::RoundRobinPolicy base;
+  FaultPlan plan;
+  plan.stalls.push_back(StallSpec{0, 0, 6});
+  FaultInjectingPolicy policy(base, plan);
+  sched::SimScheduler sim(policy);
+  PointCounter a, b;
+  sim.spawn([&] { a.body(4); });
+  sim.spawn([&] { b.body(6); });
+  sim.run();
+  EXPECT_EQ(a.completed.load(), 4);
+  EXPECT_EQ(b.completed.load(), 6);
+  const auto& trace = sim.trace();
+  ASSERT_EQ(trace.size(), 10u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(trace[i], 1) << "decision " << i;
+  }
+}
+
+TEST(FaultPolicyTest, StallOfOnlyRunnableProcFallsBack) {
+  // Proc 0 is the only process; stalling it must not deadlock the
+  // simulator — the decorator falls back to the unfiltered set.
+  sched::RoundRobinPolicy base;
+  FaultPlan plan;
+  plan.stalls.push_back(StallSpec{0, 0, 1000});
+  FaultInjectingPolicy policy(base, plan);
+  sched::SimScheduler sim(policy);
+  PointCounter a;
+  sim.spawn([&] { a.body(3); });
+  sim.run();
+  EXPECT_EQ(a.completed.load(), 3);
+}
+
+}  // namespace
+}  // namespace compreg::fault

@@ -1,0 +1,178 @@
+// Crash-aware checker semantics, on hand-built histories with
+// hand-derived verdicts: a pending Write (crashed writer) participates
+// as a never-closing interval whose effect is constrained only if some
+// Read returned it; a pending Read (crashed reader) returned nothing
+// and is ignored by every checker.
+#include <gtest/gtest.h>
+
+#include "lin/dump.h"
+#include "lin/history.h"
+#include "lin/shrinking_checker.h"
+#include "lin/stats.h"
+#include "lin/wing_gong.h"
+#include "lin/witness.h"
+
+namespace compreg::lin {
+namespace {
+
+WriteRec make_write(int component, std::uint64_t id, std::uint64_t value,
+                    std::uint64_t start, std::uint64_t end, int proc) {
+  WriteRec w;
+  w.component = component;
+  w.id = id;
+  w.value = value;
+  w.start = start;
+  w.end = end;
+  w.proc = proc;
+  return w;
+}
+
+ReadRec make_read(std::vector<std::uint64_t> ids,
+                  std::vector<std::uint64_t> values, std::uint64_t start,
+                  std::uint64_t end, int proc) {
+  ReadRec r;
+  r.ids = std::move(ids);
+  r.values = std::move(values);
+  r.start = start;
+  r.end = end;
+  r.proc = proc;
+  return r;
+}
+
+History base_history() {
+  History h;
+  h.components = 1;
+  h.initial = {0};
+  return h;
+}
+
+// Every verdict is checked against the fast checker AND the naive
+// transcription — the two must agree on crashed histories too.
+void expect_verdict(const History& h, bool ok, const char* what) {
+  const CheckResult fast = check_shrinking_lemma(h);
+  const CheckResult naive = check_shrinking_lemma_naive(h);
+  EXPECT_EQ(fast.ok, ok) << what << ": fast checker said "
+                         << (fast.ok ? "ok" : fast.violation);
+  EXPECT_EQ(naive.ok, ok) << what << ": naive checker said "
+                          << (naive.ok ? "ok" : naive.violation);
+}
+
+// A Write that crashed and whose value no Read returned imposes no
+// conditions: the history must be accepted (the crashed Write simply
+// never took effect).
+TEST(PendingOpsTest, PendingWriteUnseenAccepts) {
+  History h = base_history();
+  h.writes.push_back(make_write(0, 1, 10, 1, kPendingEnd, 0));
+  h.reads.push_back(make_read({0}, {0}, 2, 3, 1));
+  expect_verdict(h, true, "unseen pending write");
+  EXPECT_TRUE(check_wing_gong(h).ok);
+}
+
+// A Read that returned the crashed Write's value is also fine: the
+// crash happened after the Write took effect.
+TEST(PendingOpsTest, PendingWriteSeenAccepts) {
+  History h = base_history();
+  h.writes.push_back(make_write(0, 1, 10, 1, kPendingEnd, 0));
+  h.reads.push_back(make_read({1}, {10}, 2, 3, 1));
+  expect_verdict(h, true, "seen pending write");
+  EXPECT_TRUE(check_wing_gong(h).ok);
+}
+
+// New-old inversion involving a pending Write: the first Read returned
+// the crashed Write's value, a later (real-time-ordered) Read returned
+// the initial value again. Read Precedence must reject — a crashed
+// Write may or may not take effect, but it cannot un-happen.
+TEST(PendingOpsTest, NewOldInversionWithPendingWriteRejects) {
+  History h = base_history();
+  h.writes.push_back(make_write(0, 1, 10, 1, kPendingEnd, 0));
+  h.reads.push_back(make_read({1}, {10}, 2, 3, 1));
+  h.reads.push_back(make_read({0}, {0}, 4, 5, 1));
+  expect_verdict(h, false, "new-old inversion via pending write");
+  EXPECT_FALSE(check_wing_gong(h).ok);
+}
+
+// A pending Read is ignored wholesale — even if its partially-recorded
+// ids are garbage that would fail Integrity had it completed.
+TEST(PendingOpsTest, PendingReadWithGarbageIdsIsIgnored) {
+  History h = base_history();
+  h.writes.push_back(make_write(0, 1, 10, 1, 2, 0));
+  h.reads.push_back(make_read({999}, {123}, 3, kPendingEnd, 1));
+  expect_verdict(h, true, "garbage pending read");
+
+  // The identical record, completed, must be rejected (Integrity).
+  History h2 = base_history();
+  h2.writes.push_back(make_write(0, 1, 10, 1, 2, 0));
+  h2.reads.push_back(make_read({999}, {123}, 3, 4, 1));
+  expect_verdict(h2, false, "garbage completed read");
+}
+
+// A pending Read with NO ids at all (the common case: the reader
+// crashed before collecting anything) must not trip the C-ids shape
+// checks.
+TEST(PendingOpsTest, PendingReadWithNoIdsAccepts) {
+  History h = base_history();
+  h.components = 2;
+  h.initial = {0, 0};
+  h.writes.push_back(make_write(0, 1, 10, 1, 2, 0));
+  h.reads.push_back(make_read({}, {}, 3, kPendingEnd, 2));
+  h.reads.push_back(make_read({1, 0}, {10, 0}, 4, 5, 3));
+  expect_verdict(h, true, "empty pending read");
+}
+
+TEST(PendingOpsTest, HistoryHelpers) {
+  History h = base_history();
+  h.writes.push_back(make_write(0, 1, 10, 1, kPendingEnd, 0));
+  h.reads.push_back(make_read({0}, {0}, 2, 3, 1));
+  h.reads.push_back(make_read({}, {}, 4, kPendingEnd, 2));
+  EXPECT_TRUE(h.has_pending_reads());
+  EXPECT_EQ(h.completed_reads(), 1u);
+  const History stripped = without_pending_reads(h);
+  EXPECT_FALSE(stripped.has_pending_reads());
+  EXPECT_EQ(stripped.reads.size(), 1u);
+  EXPECT_EQ(stripped.writes.size(), 1u);  // pending writes are kept
+
+  const HistoryStats stats = compute_stats(h);
+  EXPECT_EQ(stats.pending_writes, 1u);
+  EXPECT_EQ(stats.pending_reads, 1u);
+}
+
+// The witness builder excludes pending Reads (they returned nothing to
+// replay) but still linearizes pending Writes whose value was read.
+TEST(PendingOpsTest, WitnessExcludesPendingReads) {
+  History h = base_history();
+  h.writes.push_back(make_write(0, 1, 10, 1, kPendingEnd, 0));
+  h.reads.push_back(make_read({1}, {10}, 2, 3, 1));
+  h.reads.push_back(make_read({}, {}, 4, kPendingEnd, 2));
+  const Witness w = build_linearization(h);
+  ASSERT_TRUE(w.ok) << w.error;
+  EXPECT_EQ(w.order.size(), h.writes.size() + h.completed_reads());
+  EXPECT_TRUE(validate_linearization(h, w.order).ok);
+}
+
+// Pending records survive a dump/parse round-trip.
+TEST(PendingOpsTest, DumpRoundTripsPendingOps) {
+  History h = base_history();
+  h.components = 2;
+  h.initial = {0, 7};
+  h.writes.push_back(make_write(0, 1, 10, 1, kPendingEnd, 0));
+  h.writes.push_back(make_write(1, 1, 20, 2, 5, 1));
+  h.reads.push_back(make_read({1, 1}, {10, 20}, 6, 7, 2));
+  h.reads.push_back(make_read({}, {}, 8, kPendingEnd, 3));
+
+  const std::string text = dump_history(h);
+  const auto parsed = parse_history(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  ASSERT_EQ(parsed->writes.size(), 2u);
+  ASSERT_EQ(parsed->reads.size(), 2u);
+  EXPECT_EQ(parsed->writes[0].end, kPendingEnd);
+  EXPECT_EQ(parsed->writes[1].end, 5u);
+  EXPECT_EQ(parsed->reads[1].end, kPendingEnd);
+  EXPECT_TRUE(parsed->reads[1].ids.empty());
+  EXPECT_EQ(dump_history(*parsed), text);
+
+  // And the parsed history checks the same as the original.
+  EXPECT_TRUE(check_shrinking_lemma(*parsed).ok);
+}
+
+}  // namespace
+}  // namespace compreg::lin

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "registers/word_register.h"
@@ -108,6 +110,71 @@ TEST(SimSchedulerTest, ScriptedScheduleIsFollowed) {
   });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 1, 0, 1, 0, 0}));
+}
+
+// A body that lets a non-ProcessParked exception escape must not wedge
+// or kill the lockstep: every other process finishes, and run()
+// rethrows the failure with the offender's id and schedule position.
+TEST(SimSchedulerTest, BodyExceptionIsReportedFromRun) {
+  RoundRobinPolicy policy;
+  SimScheduler sim(policy);
+  registers::WordRegister<int> reg(0);
+  int survivor_writes = 0;
+  sim.spawn([&] {
+    reg.write(1);
+    reg.write(2);
+    throw std::runtime_error("boom in body");
+  });
+  sim.spawn([&] {
+    for (int i = 0; i < 4; ++i) {
+      reg.write(i);
+      ++survivor_writes;
+    }
+  });
+  try {
+    sim.run();
+    FAIL() << "run() should have thrown ProcessBodyError";
+  } catch (const ProcessBodyError& e) {
+    EXPECT_EQ(e.proc_id, 0);
+    EXPECT_NE(std::string(e.what()).find("process 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("boom in body"), std::string::npos);
+    EXPECT_LE(e.trace_position, sim.steps());
+    ASSERT_TRUE(e.original != nullptr);
+    EXPECT_THROW(std::rethrow_exception(e.original), std::runtime_error);
+  }
+  EXPECT_EQ(survivor_writes, 4);  // the survivor was not collateral damage
+}
+
+TEST(SimSchedulerTest, ParkedProcessIsNotAnError) {
+  RoundRobinPolicy policy;
+  SimScheduler sim(policy);
+  registers::WordRegister<int> reg(0);
+  sim.spawn([&] {
+    park_after(1);
+    reg.write(1);
+    reg.write(2);  // never reached
+  });
+  sim.spawn([&] { reg.write(3); });
+  EXPECT_NO_THROW(sim.run());
+}
+
+// Scheduler-side crash injection: the granted access never executes,
+// exactly like park_after at the same point.
+TEST(SimSchedulerTest, InjectedCrashStopsProcessAtNextGrant) {
+  RoundRobinPolicy policy;
+  SimScheduler sim(policy);
+  registers::WordRegister<int> reg(0);
+  int victim_completed = 0;
+  sim.spawn([&] {
+    for (int i = 0; i < 5; ++i) {
+      reg.write(i);
+      ++victim_completed;
+    }
+  });
+  sim.inject_crash_on_next_grant(0);
+  sim.run();
+  EXPECT_EQ(victim_completed, 0);
+  EXPECT_EQ(sim.steps(), 1u);  // the grant happened; the access did not
 }
 
 }  // namespace

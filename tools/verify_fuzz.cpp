@@ -6,24 +6,45 @@
 // the first violation — prints the seed and the full history in the
 // lin::dump format so it can be replayed.
 //
+// Chaos mode layers crash-stop fault injection on top (simulator
+// iterations only): every iteration derives a random FaultPlan from its
+// seed (--crash-prob, --stall permille; --chaos picks defaults), or
+// replays one fixed plan (--plan, see docs/fault_model.md for the
+// grammar). Histories with crashed operations are checked with the
+// crash-aware checkers, and a watchdog thread turns a hung run — native
+// or simulated (a "hang:" plan wedges the scheduler on purpose) — into
+// a graceful exit with a replayable artifact instead of a stuck CI job.
+//
 // Usage:
 //   verify_fuzz [--impl anderson|afek|unbounded|doublecollect|fullstack|mw]
 //               [--components N] [--readers N] [--iters N] [--seed N]
 //               [--ops N] [--native] [--witness] [--stats]
+//               [--chaos] [--crash-prob PERMILLE] [--stall PERMILLE]
+//               [--plan SPEC] [--out FILE] [--watchdog SECONDS]
 //
 // --impl mw fuzzes the multi-writer reduction (native threads, 3
-// processes). Exit code 0 = all iterations clean; 1 = violation found.
+// processes). Exit codes: 0 = all iterations clean; 1 = violation found
+// (failing seed printed, artifact written to --out); 2 = watchdog
+// timeout (hang; artifact written to --out); 64 = usage error.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "baselines/afek_snapshot.h"
 #include "baselines/double_collect.h"
 #include "baselines/unbounded_helping.h"
 #include "core/composite_register.h"
 #include "core/multi_writer.h"
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
 #include "lin/dump.h"
 #include "lin/shrinking_checker.h"
 #include "lin/stats.h"
@@ -31,10 +52,15 @@
 #include "lin/workload.h"
 #include "sched/policy.h"
 #include "theory/theory_cell.h"
+#include "util/rng.h"
 
 namespace {
 
 using compreg::core::Snapshot;
+
+constexpr int kExitViolation = 1;
+constexpr int kExitWatchdog = 2;
+constexpr int kExitUsage = 64;
 
 std::unique_ptr<Snapshot<std::uint64_t>> make_impl(const std::string& name,
                                                    int c, int r) {
@@ -62,6 +88,78 @@ std::unique_ptr<Snapshot<std::uint64_t>> make_impl(const std::string& name,
   return nullptr;
 }
 
+struct Artifact {
+  std::string path = "verify_fuzz_failure.txt";
+  std::string config_line;
+};
+
+// Writes a replayable failure artifact: the config, the failing seed,
+// the plan in force, and (when available) the offending history.
+void write_artifact(const Artifact& artifact, const char* kind,
+                    std::uint64_t seed, const std::string& plan,
+                    const std::string& detail,
+                    const compreg::lin::History* history) {
+  std::ofstream out(artifact.path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write artifact to %s\n",
+                 artifact.path.c_str());
+    return;
+  }
+  out << "# verify_fuzz " << kind << "\n";
+  out << "# " << artifact.config_line << "\n";
+  out << "# seed " << seed << "\n";
+  if (!plan.empty()) out << "# plan " << plan << "\n";
+  if (!detail.empty()) out << "# " << detail << "\n";
+  if (history != nullptr) compreg::lin::dump_history(*history, out);
+  std::fprintf(stderr, "artifact written to %s\n", artifact.path.c_str());
+}
+
+// Hang detector: if the fuzz loop makes no progress for `timeout_sec`,
+// dump an artifact naming the in-flight seed and _Exit(2). _Exit skips
+// destructors on purpose — a wedged simulator holds threads that can
+// never be joined.
+class Watchdog {
+ public:
+  Watchdog(unsigned timeout_sec, const Artifact& artifact,
+           const std::atomic<std::uint64_t>& progress,
+           const std::atomic<std::uint64_t>& current_seed,
+           const std::string& plan)
+      : timeout_sec_(timeout_sec) {
+    if (timeout_sec_ == 0) return;
+    std::thread([this, &artifact, &progress, &current_seed, plan] {
+      std::uint64_t last = progress.load();
+      auto last_change = std::chrono::steady_clock::now();
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const std::uint64_t now_progress = progress.load();
+        if (now_progress != last) {
+          last = now_progress;
+          last_change = std::chrono::steady_clock::now();
+          continue;
+        }
+        const auto stalled = std::chrono::steady_clock::now() - last_change;
+        if (stalled >= std::chrono::seconds(timeout_sec_)) {
+          const std::uint64_t seed = current_seed.load();
+          std::fprintf(stderr,
+                       "WATCHDOG: no progress for %u s, run is hung "
+                       "(seed %llu); exiting 2\n",
+                       timeout_sec_,
+                       static_cast<unsigned long long>(seed));
+          write_artifact(artifact, "watchdog timeout (hung run)", seed, plan,
+                         "the iteration at this seed never completed",
+                         nullptr);
+          std::fflush(stdout);
+          std::fflush(stderr);
+          std::_Exit(kExitWatchdog);
+        }
+      }
+    }).detach();
+  }
+
+ private:
+  unsigned timeout_sec_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,12 +172,18 @@ int main(int argc, char** argv) {
   bool native = false;
   bool witness = false;
   bool stats = false;
+  bool chaos = false;
+  long crash_permille = -1;  // -1 = not set
+  long stall_permille = -1;
+  std::string plan_text;
+  unsigned watchdog_sec = 30;
+  Artifact artifact;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag);
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
@@ -101,29 +205,77 @@ int main(int argc, char** argv) {
       witness = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       stats = true;
+    } else if (!std::strcmp(argv[i], "--chaos")) {
+      chaos = true;
+    } else if (!std::strcmp(argv[i], "--crash-prob")) {
+      crash_permille = std::atol(next("--crash-prob"));
+    } else if (!std::strcmp(argv[i], "--stall")) {
+      stall_permille = std::atol(next("--stall"));
+    } else if (!std::strcmp(argv[i], "--plan")) {
+      plan_text = next("--plan");
+    } else if (!std::strcmp(argv[i], "--out")) {
+      artifact.path = next("--out");
+    } else if (!std::strcmp(argv[i], "--watchdog")) {
+      watchdog_sec = static_cast<unsigned>(std::atoi(next("--watchdog")));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return 2;
+      return kExitUsage;
     }
   }
   if (native && impl == "fullstack") {
     std::fprintf(stderr,
                  "fullstack is simulator-only (its primitives rely on "
                  "serialized steps)\n");
-    return 2;
+    return kExitUsage;
+  }
+  if (chaos) {
+    if (crash_permille < 0) crash_permille = 350;
+    if (stall_permille < 0) stall_permille = 250;
+  }
+  if (crash_permille < 0) crash_permille = 0;
+  if (stall_permille < 0) stall_permille = 0;
+  const bool inject_faults =
+      crash_permille > 0 || stall_permille > 0 || !plan_text.empty();
+  if (inject_faults && (native || impl == "mw")) {
+    std::fprintf(stderr,
+                 "fault injection (--chaos/--crash-prob/--stall/--plan) "
+                 "requires the deterministic simulator (drop --native)\n");
+    return kExitUsage;
+  }
+  std::optional<compreg::fault::FaultPlan> fixed_plan;
+  if (!plan_text.empty()) {
+    fixed_plan = compreg::fault::FaultPlan::parse(plan_text);
+    if (!fixed_plan) {
+      std::fprintf(stderr, "unparsable --plan '%s'\n", plan_text.c_str());
+      return kExitUsage;
+    }
   }
 
-  std::printf("verify_fuzz: impl=%s C=%d R=%d iters=%llu base_seed=%llu "
-              "ops=%d mode=%s%s\n",
-              impl.c_str(), components, readers,
-              static_cast<unsigned long long>(iters),
-              static_cast<unsigned long long>(seed), ops,
-              (native || impl == "mw") ? "native" : "sim",
+  {
+    std::ostringstream cfg;
+    cfg << "impl=" << impl << " C=" << components << " R=" << readers
+        << " iters=" << iters << " base_seed=" << seed << " ops=" << ops
+        << " mode=" << ((native || impl == "mw") ? "native" : "sim");
+    if (inject_faults) {
+      cfg << " crash-prob=" << crash_permille << " stall=" << stall_permille;
+      if (fixed_plan) cfg << " plan=" << fixed_plan->to_string();
+    }
+    artifact.config_line = cfg.str();
+  }
+  std::printf("verify_fuzz: %s%s\n", artifact.config_line.c_str(),
               witness ? " +witness" : "");
 
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<std::uint64_t> current_seed{seed};
+  Watchdog watchdog(watchdog_sec, artifact, progress, current_seed,
+                    plan_text);
+
+  std::uint64_t pending_ops_seen = 0;
   for (std::uint64_t i = 0; i < iters; ++i) {
     const std::uint64_t it_seed = seed + i;
+    current_seed.store(it_seed);
     compreg::lin::History h;
+    compreg::fault::FaultPlan plan;
     if (impl == "mw") {
       compreg::core::MultiWriterSnapshot<std::uint64_t> snap(
           components, /*processes=*/3, readers, 0);
@@ -137,7 +289,7 @@ int main(int argc, char** argv) {
       auto snap = make_impl(impl, components, readers);
       if (!snap) {
         std::fprintf(stderr, "unknown impl '%s'\n", impl.c_str());
-        return 2;
+        return kExitUsage;
       }
       compreg::lin::WorkloadConfig cfg;
       cfg.writes_per_writer = ops;
@@ -149,17 +301,36 @@ int main(int argc, char** argv) {
       auto snap = make_impl(impl, components, readers);
       if (!snap) {
         std::fprintf(stderr, "unknown impl '%s'\n", impl.c_str());
-        return 2;
+        return kExitUsage;
       }
       compreg::sched::RandomPolicy policy(it_seed);
       compreg::lin::WorkloadConfig cfg;
       cfg.writes_per_writer = ops;
       cfg.scans_per_reader = ops;
-      h = compreg::lin::run_sim_workload(*snap, policy, cfg);
+      if (inject_faults) {
+        if (fixed_plan) {
+          plan = *fixed_plan;
+        } else {
+          // Derive this iteration's plan from its seed alone, so
+          // re-running with --seed <it_seed> --iters 1 replays it.
+          compreg::Rng plan_rng(it_seed ^ 0xfa0175ab5eedull);
+          const std::uint64_t est_points =
+              static_cast<std::uint64_t>(ops) * 16 + 8;
+          plan = compreg::fault::FaultPlan::random(
+              plan_rng, components + readers, est_points,
+              static_cast<unsigned>(crash_permille),
+              static_cast<unsigned>(stall_permille));
+        }
+        h = compreg::fault::run_sim_workload_with_faults(*snap, policy, cfg,
+                                                         plan);
+      } else {
+        h = compreg::lin::run_sim_workload(*snap, policy, cfg);
+      }
     }
+    const compreg::lin::HistoryStats hs = compreg::lin::compute_stats(h);
+    pending_ops_seen += hs.pending_writes + hs.pending_reads;
     if (stats && i == 0) {
-      std::printf("  first history: %s\n",
-                  compreg::lin::compute_stats(h).summary().c_str());
+      std::printf("  first history: %s\n", hs.summary().c_str());
     }
     const compreg::lin::CheckResult result =
         compreg::lin::check_shrinking_lemma(h);
@@ -167,9 +338,14 @@ int main(int argc, char** argv) {
       std::printf("VIOLATION at seed %llu: %s\n",
                   static_cast<unsigned long long>(it_seed),
                   result.violation.c_str());
+      if (!plan.empty()) {
+        std::printf("fault plan: %s\n", plan.to_string().c_str());
+      }
       std::printf("# replayable history follows\n");
       compreg::lin::dump_history(h, std::cout);
-      return 1;
+      write_artifact(artifact, "violation", it_seed, plan.to_string(),
+                     result.violation, &h);
+      return kExitViolation;
     }
     if (witness) {
       const compreg::lin::Witness w = compreg::lin::build_linearization(h);
@@ -178,16 +354,26 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(it_seed),
                     w.error.c_str());
         compreg::lin::dump_history(h, std::cout);
-        return 1;
+        write_artifact(artifact, "witness failure", it_seed,
+                       plan.to_string(), w.error, &h);
+        return kExitViolation;
       }
     }
+    progress.fetch_add(1);
     if ((i + 1) % 50 == 0) {
       std::printf("  %llu/%llu clean\n",
                   static_cast<unsigned long long>(i + 1),
                   static_cast<unsigned long long>(iters));
     }
   }
-  std::printf("all %llu executions linearizable\n",
-              static_cast<unsigned long long>(iters));
+  if (inject_faults) {
+    std::printf("all %llu executions linearizable (%llu crashed ops "
+                "recorded pending)\n",
+                static_cast<unsigned long long>(iters),
+                static_cast<unsigned long long>(pending_ops_seen));
+  } else {
+    std::printf("all %llu executions linearizable\n",
+                static_cast<unsigned long long>(iters));
+  }
   return 0;
 }
