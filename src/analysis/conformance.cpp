@@ -1,0 +1,155 @@
+#include "analysis/conformance.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace compreg::analysis {
+
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+void ConformanceChecker::on_access(const sched::Access& access, int proc,
+                                   std::uint64_t sched_pos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stream_pos_;
+  // Prefer the simulator's exact schedule position; fall back to the
+  // labeled-stream index on native threads (sched_pos == 0).
+  const std::uint64_t pos = sched_pos != 0 ? sched_pos : stream_pos_;
+  const bool is_write = access.kind == sched::AccessKind::kWrite;
+  if (is_write) {
+    ++counters_.writes;
+  } else {
+    ++counters_.reads;
+  }
+
+  if (access.decl.cell == 0) {
+    if (!undeclared_flagged_) {
+      undeclared_flagged_ = true;
+      Finding f;
+      f.kind = "undeclared-cell";
+      f.cell = 0;
+      f.owner = access.decl.owner;
+      f.proc_a = proc;
+      f.pos_a = pos;
+      f.detail = "access outside any declared register API";
+      flag(std::move(f));
+    }
+    return;
+  }
+
+  auto [it, inserted] = cells_.try_emplace(access.decl.cell);
+  CellState& cell = it->second;
+  if (inserted) {
+    cell.decl = access.decl;
+    ++counters_.cells;
+    switch (access.decl.discipline) {
+      case sched::Discipline::kSwmr:
+        ++counters_.swmr_cells;
+        break;
+      case sched::Discipline::kSwsr:
+        ++counters_.swsr_cells;
+        break;
+      case sched::Discipline::kMrmw:
+        ++counters_.mrmw_cells;
+        break;
+    }
+  }
+
+  if (cell.decl.discipline == sched::Discipline::kMrmw) return;
+
+  if (is_write) {
+    if (cell.writer_proc == -1 ||
+        (cell.writer_proc == proc && proc != -1)) {
+      cell.writer_proc = proc;
+      cell.writer_pos = pos;
+      return;
+    }
+    if (!contains(cell.flagged_writers, proc)) {
+      cell.flagged_writers.push_back(proc);
+      Finding f;
+      f.kind = "multi-writer";
+      f.cell = cell.decl.cell;
+      f.owner = cell.decl.owner;
+      f.proc_a = cell.writer_proc;
+      f.proc_b = proc;
+      f.pos_a = cell.writer_pos;
+      f.pos_b = pos;
+      std::ostringstream detail;
+      detail << "single-writer cell written by process " << proc
+             << " after being claimed by process " << cell.writer_proc;
+      f.detail = detail.str();
+      flag(std::move(f));
+    }
+    return;
+  }
+
+  // Read access.
+  if (cell.decl.discipline == sched::Discipline::kSwsr) {
+    if (cell.reader_proc == -1 ||
+        (cell.reader_proc == proc && proc != -1)) {
+      cell.reader_proc = proc;
+      cell.reader_pos = pos;
+    } else if (!contains(cell.flagged_readers, proc)) {
+      cell.flagged_readers.push_back(proc);
+      Finding f;
+      f.kind = "multi-reader";
+      f.cell = cell.decl.cell;
+      f.owner = cell.decl.owner;
+      f.proc_a = cell.reader_proc;
+      f.proc_b = proc;
+      f.pos_a = cell.reader_pos;
+      f.pos_b = pos;
+      f.detail = "single-reader (SWSR) cell read by a second process";
+      flag(std::move(f));
+    }
+  }
+  if (cell.decl.readers > 0 && access.slot >= 0 &&
+      access.slot >= cell.decl.readers && !cell.bad_slot_flagged) {
+    cell.bad_slot_flagged = true;
+    Finding f;
+    f.kind = "bad-slot";
+    f.cell = cell.decl.cell;
+    f.owner = cell.decl.owner;
+    f.proc_a = proc;
+    f.pos_a = pos;
+    std::ostringstream detail;
+    detail << "reader slot " << access.slot << " outside declared capacity "
+           << cell.decl.readers;
+    f.detail = detail.str();
+    flag(std::move(f));
+  }
+}
+
+void ConformanceChecker::flag(Finding finding) {
+  ++counters_.findings;
+  findings_.push_back(std::move(finding));
+}
+
+AnalysisReport ConformanceChecker::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AnalysisReport report;
+  report.counters = counters_;
+  report.findings = findings_;
+  return report;
+}
+
+bool ConformanceChecker::clean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_.empty();
+}
+
+void ConformanceChecker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.clear();
+  stream_pos_ = 0;
+  counters_ = {};
+  findings_.clear();
+  undeclared_flagged_ = false;
+}
+
+}  // namespace compreg::analysis

@@ -1,0 +1,80 @@
+// SWMR ownership checker: certifies the paper's substrate assumption
+// (Section 2) on an actual execution.
+//
+// Installed as a sched::AccessObserver, the checker consumes the
+// labeled access stream that the instrumented registers emit and
+// verifies, per base register ("cell"):
+//
+//   * single-writer   a Discipline::kSwmr or kSwsr cell is written by
+//                     at most one process for the whole execution; the
+//                     first writer claims the cell and every write by a
+//                     different process is a "multi-writer" finding
+//                     naming both processes and both schedule
+//                     positions;
+//   * single-reader   a kSwsr cell (Simpson leaf) is additionally read
+//                     by at most one process;
+//   * declared API    reader slots stay within the cell's declared
+//                     capacity ("bad-slot") and every access carries a
+//                     declared cell id ("undeclared-cell") — accesses
+//                     outside a declared register API cannot certify
+//                     anything;
+//   * kMrmw cells     tracked in the counters, exempt from the rules
+//                     (they document where a baseline deliberately
+//                     leaves the substrate).
+//
+// Ownership is an execution property, not a structural one: reset()
+// between executions. Thread-safe (native stress runs call on_access
+// concurrently); under the simulator calls arrive serialized and carry
+// exact schedule positions.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/report.h"
+#include "sched/access.h"
+
+namespace compreg::analysis {
+
+class ConformanceChecker final : public sched::AccessObserver {
+ public:
+  ConformanceChecker() = default;
+
+  void on_access(const sched::Access& access, int proc,
+                 std::uint64_t sched_pos) override;
+
+  // Snapshot of the verdict so far; call after the checked execution
+  // has quiesced (all threads joined / sim run() returned).
+  AnalysisReport report() const;
+  bool clean() const;
+
+  // Forget all per-execution state (ownership claims, counters).
+  void reset();
+
+ private:
+  struct CellState {
+    sched::CellDecl decl;
+    int writer_proc = -1;        // claiming writer (-1: none yet)
+    std::uint64_t writer_pos = 0;
+    int reader_proc = -1;        // claiming reader, kSwsr cells only
+    std::uint64_t reader_pos = 0;
+    // Conflicting procs already reported, to keep one finding per
+    // (cell, proc) pair instead of one per access.
+    std::vector<int> flagged_writers;
+    std::vector<int> flagged_readers;
+    bool bad_slot_flagged = false;
+  };
+
+  void flag(Finding finding);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, CellState> cells_;
+  std::uint64_t stream_pos_ = 0;  // labeled accesses seen so far
+  lin::ConformanceCounters counters_;
+  std::vector<Finding> findings_;
+  bool undeclared_flagged_ = false;
+};
+
+}  // namespace compreg::analysis

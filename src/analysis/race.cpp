@@ -1,0 +1,150 @@
+#include "analysis/race.h"
+
+#include <atomic>
+#include <sstream>
+
+namespace compreg::analysis {
+
+namespace {
+
+// Stable identity for threads that carry no proc id: a process-global
+// per-OS-thread counter, mapped into a key space that cannot collide
+// with workload proc ids.
+int anonymous_thread_key() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return 1'000'000 + id;
+}
+
+std::string site_tag(const char* owner, const char* op, int proc,
+                     std::uint64_t pos) {
+  std::ostringstream os;
+  os << owner << "." << op << "[proc " << proc << " @ " << pos << "]";
+  return os.str();
+}
+
+}  // namespace
+
+int RaceDetector::thread_index(int proc) {
+  const int key = proc >= 0 ? proc : anonymous_thread_key();
+  auto [it, inserted] =
+      proc_to_thread_.try_emplace(key, static_cast<int>(clocks_.size()));
+  if (inserted) clocks_.emplace_back();
+  return it->second;
+}
+
+void RaceDetector::join(VectorClock& into, const VectorClock& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (from[i] > into[i]) into[i] = from[i];
+  }
+}
+
+bool RaceDetector::happened_before(const Site& site, int t) const {
+  const VectorClock& ct = clocks_[static_cast<std::size_t>(t)];
+  const std::size_t u = static_cast<std::size_t>(site.thread);
+  const std::uint64_t seen = u < ct.size() ? ct[u] : 0;
+  return site.epoch <= seen;
+}
+
+void RaceDetector::on_access(const sched::Access& access, int proc,
+                             std::uint64_t sched_pos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stream_pos_;
+  const std::uint64_t pos = sched_pos != 0 ? sched_pos : stream_pos_;
+  const int t = thread_index(proc);
+  VectorClock& ct = clocks_[static_cast<std::size_t>(t)];
+  if (ct.size() <= static_cast<std::size_t>(t)) {
+    ct.resize(static_cast<std::size_t>(t) + 1, 0);
+  }
+  // Epochs start at 1: other threads' clocks default to 0 for us, and
+  // "epoch <= their view" must be false until they really synchronize.
+  if (ct[static_cast<std::size_t>(t)] == 0) {
+    ct[static_cast<std::size_t>(t)] = 1;
+  }
+
+  auto [it, inserted] = cells_.try_emplace(access.decl.cell);
+  CellState& cell = it->second;
+  if (inserted) cell.decl = access.decl;
+
+  if (access.kind == sched::AccessKind::kWrite) {
+    const bool single_writer =
+        cell.decl.discipline != sched::Discipline::kMrmw;
+    if (single_writer && cell.last_write.thread != -1 &&
+        cell.last_write.thread != t &&
+        !happened_before(cell.last_write, t) && !cell.write_flagged) {
+      cell.write_flagged = true;
+      Finding f;
+      f.kind = "write-race";
+      f.cell = cell.decl.cell;
+      f.owner = cell.decl.owner;
+      f.proc_a = cell.last_write.proc;
+      f.proc_b = proc;
+      f.pos_a = cell.last_write.pos;
+      f.pos_b = pos;
+      f.detail = "unsynchronized conflicting writes: " +
+                 site_tag(cell.decl.owner, "write", cell.last_write.proc,
+                          cell.last_write.pos) +
+                 " vs " + site_tag(cell.decl.owner, "write", proc, pos);
+      findings_.push_back(std::move(f));
+    }
+    join(cell.release, ct);  // release: publish our clock through the cell
+    cell.last_write = Site{t, proc, ct[static_cast<std::size_t>(t)], pos};
+    ++ct[static_cast<std::size_t>(t)];
+    return;
+  }
+
+  // Read access: check reader-slot discipline before acquiring (slot
+  // reuse is only safe when the previous user's whole read happened
+  // before ours).
+  if (cell.decl.readers > 0 && access.slot >= 0) {
+    SlotState& slot = cell.slots[access.slot];
+    if (slot.last_read.thread != -1 && slot.last_read.thread != t &&
+        !happened_before(slot.last_read, t) && !slot.flagged) {
+      slot.flagged = true;
+      Finding f;
+      f.kind = "slot-race";
+      f.cell = cell.decl.cell;
+      f.owner = cell.decl.owner;
+      f.proc_a = slot.last_read.proc;
+      f.proc_b = proc;
+      f.pos_a = slot.last_read.pos;
+      f.pos_b = pos;
+      std::ostringstream detail;
+      detail << "reader slot " << access.slot
+             << " used by two unsynchronized threads: "
+             << site_tag(cell.decl.owner, "read", slot.last_read.proc,
+                         slot.last_read.pos)
+             << " vs " << site_tag(cell.decl.owner, "read", proc, pos);
+      f.detail = detail.str();
+      findings_.push_back(std::move(f));
+    }
+    slot.last_read = Site{t, proc, ct[static_cast<std::size_t>(t)], pos};
+  }
+  join(ct, cell.release);  // acquire: the read may observe any write
+  ++ct[static_cast<std::size_t>(t)];
+}
+
+AnalysisReport RaceDetector::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AnalysisReport report;
+  report.findings = findings_;
+  report.counters.findings = findings_.size();
+  return report;
+}
+
+bool RaceDetector::clean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_.empty();
+}
+
+void RaceDetector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.clear();
+  clocks_.clear();
+  proc_to_thread_.clear();
+  stream_pos_ = 0;
+  findings_.clear();
+}
+
+}  // namespace compreg::analysis

@@ -1,0 +1,128 @@
+#include "analysis/report.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace compreg::analysis {
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << kind << ": cell " << cell << " (" << owner << ")";
+  if (proc_b >= 0) {
+    os << " procs " << proc_a << "/" << proc_b << " at positions " << pos_a
+       << "/" << pos_b;
+  } else {
+    os << " proc " << proc_a << " at position " << pos_a;
+  }
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+void AnalysisReport::write_text(std::ostream& os) const {
+  os << "conformance analysis: " << counters.summary() << "\n";
+  if (findings.empty()) {
+    os << "  no discipline violations\n";
+    return;
+  }
+  for (const Finding& f : findings) {
+    os << "  FINDING " << f.to_string() << "\n";
+  }
+}
+
+std::string AnalysisReport::text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+void AnalysisReport::write_dump(std::ostream& os) const {
+  os << "conformance " << counters.cells << " " << counters.accesses() << " "
+     << findings.size() << "\n";
+  os << "counter swmr_cells " << counters.swmr_cells << "\n";
+  os << "counter swsr_cells " << counters.swsr_cells << "\n";
+  os << "counter mrmw_cells " << counters.mrmw_cells << "\n";
+  os << "counter reads " << counters.reads << "\n";
+  os << "counter writes " << counters.writes << "\n";
+  for (const Finding& f : findings) {
+    os << "finding " << f.kind << " cell " << f.cell << " owner " << f.owner
+       << " procs " << f.proc_a << " " << f.proc_b << " pos " << f.pos_a
+       << " " << f.pos_b << " detail " << f.detail << "\n";
+  }
+}
+
+std::string AnalysisReport::dump() const {
+  std::ostringstream os;
+  write_dump(os);
+  return os.str();
+}
+
+void AnalysisReport::merge_findings(const AnalysisReport& other) {
+  findings.insert(findings.end(), other.findings.begin(),
+                  other.findings.end());
+  counters.findings += other.counters.findings;
+}
+
+std::optional<AnalysisReport> parse_report(std::istream& is) {
+  AnalysisReport report;
+  std::string line;
+  bool header_seen = false;
+  std::uint64_t declared_findings = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "conformance") {
+      std::uint64_t accesses = 0;
+      if (!(ls >> report.counters.cells >> accesses >> declared_findings)) {
+        return std::nullopt;
+      }
+      header_seen = true;
+    } else if (tag == "counter") {
+      std::string name;
+      std::uint64_t value = 0;
+      if (!(ls >> name >> value)) return std::nullopt;
+      if (name == "swmr_cells") {
+        report.counters.swmr_cells = value;
+      } else if (name == "swsr_cells") {
+        report.counters.swsr_cells = value;
+      } else if (name == "mrmw_cells") {
+        report.counters.mrmw_cells = value;
+      } else if (name == "reads") {
+        report.counters.reads = value;
+      } else if (name == "writes") {
+        report.counters.writes = value;
+      } else {
+        return std::nullopt;
+      }
+    } else if (tag == "finding") {
+      Finding f;
+      std::string kw_cell, kw_owner, kw_procs, kw_pos, kw_detail;
+      if (!(ls >> f.kind >> kw_cell >> f.cell >> kw_owner >> f.owner >>
+            kw_procs >> f.proc_a >> f.proc_b >> kw_pos >> f.pos_a >>
+            f.pos_b >> kw_detail) ||
+          kw_cell != "cell" || kw_owner != "owner" || kw_procs != "procs" ||
+          kw_pos != "pos" || kw_detail != "detail") {
+        return std::nullopt;
+      }
+      std::getline(ls, f.detail);
+      if (!f.detail.empty() && f.detail[0] == ' ') f.detail.erase(0, 1);
+      report.findings.push_back(std::move(f));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!header_seen || report.findings.size() != declared_findings) {
+    return std::nullopt;
+  }
+  report.counters.findings = report.findings.size();
+  return report;
+}
+
+std::optional<AnalysisReport> parse_report(const std::string& text) {
+  std::istringstream is(text);
+  return parse_report(is);
+}
+
+}  // namespace compreg::analysis

@@ -1,0 +1,71 @@
+// AnalysisReport: the output of the protocol-conformance analyzer.
+//
+// A report is a list of discipline findings plus the traffic counters
+// the checkers accumulated (lin::ConformanceCounters). Like the
+// linearizability checkers' histories (src/lin/dump), a report has both
+// a human-readable text form and a line-oriented parseable dump, so CI
+// failures ship a replayable artifact:
+//
+//   conformance <cells> <accesses> <findings>
+//   counter <name> <value>                      (one line per counter)
+//   finding <kind> cell <id> owner <label> procs <a> <b> pos <a> <b>
+//       detail <free text to end of line>
+//
+// ('#' comment lines are ignored by the parser; proc/pos -1 and 0 mean
+// "not applicable".)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lin/stats.h"
+
+namespace compreg::analysis {
+
+// One discipline violation. Two access sites participate in every
+// finding that involves two processes (e.g. the claiming writer and
+// the conflicting writer); single-site findings leave proc_b/pos_b at
+// -1/0.
+struct Finding {
+  std::string kind;     // "multi-writer", "multi-reader", "bad-slot",
+                        // "undeclared-cell", "write-race", "slot-race"
+  std::uint64_t cell = 0;
+  std::string owner;
+  int proc_a = -1;            // first/claiming process
+  int proc_b = -1;            // conflicting process (-1: none)
+  std::uint64_t pos_a = 0;    // schedule/stream position of site a
+  std::uint64_t pos_b = 0;    // position of site b
+  std::string detail;         // free text; never contains '\n'
+
+  std::string to_string() const;
+};
+
+struct AnalysisReport {
+  lin::ConformanceCounters counters;
+  std::vector<Finding> findings;
+
+  bool ok() const { return findings.empty(); }
+
+  // Human-readable multi-line report.
+  void write_text(std::ostream& os) const;
+  std::string text() const;
+
+  // Parseable dump (format above).
+  void write_dump(std::ostream& os) const;
+  std::string dump() const;
+
+  // Concatenates two reports (checker composition); counters from
+  // `other` are added except cell counts, which the caller is expected
+  // to take from the primary conformance checker only.
+  void merge_findings(const AnalysisReport& other);
+};
+
+// Parses a dump produced by write_dump(). Returns nullopt on malformed
+// input.
+std::optional<AnalysisReport> parse_report(std::istream& is);
+std::optional<AnalysisReport> parse_report(const std::string& text);
+
+}  // namespace compreg::analysis

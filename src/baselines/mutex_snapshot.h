@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/snapshot.h"
+#include "sched/access.h"
+#include "sched/schedule_point.h"
 #include "util/assert.h"
 
 namespace compreg::baselines {
@@ -22,7 +24,12 @@ template <typename V>
 class MutexSnapshot final : public core::Snapshot<V> {
  public:
   MutexSnapshot(int components, int num_readers, const V& initial)
-      : c_(components), r_(num_readers) {
+      : c_(components), r_(num_readers),
+        // One declared-MRMW cell for the whole lock-protected state:
+        // every process reads and writes it, which is exactly the
+        // mutual exclusion the paper's substrate forbids. The analyzer
+        // tracks the accesses without flagging them.
+        state_access_("mutex.state", sched::Discipline::kMrmw, 0) {
     COMPREG_CHECK(components >= 1);
     values_.assign(static_cast<std::size_t>(c_), core::Item<V>{initial, 0});
   }
@@ -31,6 +38,11 @@ class MutexSnapshot final : public core::Snapshot<V> {
   int readers() const override { return r_; }
 
   std::uint64_t update(int component, const V& value) override {
+    // The schedule point sits BEFORE the lock: under the simulator the
+    // whole critical section then executes within one turn, so no other
+    // virtual process can block on the held std::mutex and wedge the
+    // lockstep.
+    sched::point(state_access_.write());
     std::lock_guard<std::mutex> lock(mutex_);
     core::Item<V>& slot = values_[static_cast<std::size_t>(component)];
     slot = core::Item<V>{value, slot.id + 1};
@@ -39,6 +51,7 @@ class MutexSnapshot final : public core::Snapshot<V> {
 
   void scan_items(int /*reader_id*/,
                   std::vector<core::Item<V>>& out) override {
+    sched::point(state_access_.read());
     std::lock_guard<std::mutex> lock(mutex_);
     out = values_;
   }
@@ -49,6 +62,7 @@ class MutexSnapshot final : public core::Snapshot<V> {
  private:
   const int c_;
   const int r_;
+  sched::AccessLabel state_access_;
   std::mutex mutex_;
   std::vector<core::Item<V>> values_;
 };

@@ -12,6 +12,14 @@
 // Payloads are stored in std::atomic slots so torn reads are excluded
 // by construction rather than by the usual seqlock benign-race hand
 // waving; V must be trivially copyable.
+//
+// The shared cells (version counter, writer lock, per-component slots)
+// deliberately violate the paper's SWMR substrate — writers of any
+// component write the shared version word and lock. They are therefore
+// declared Discipline::kMrmw at their labeled schedule points: the
+// conformance analyzer tracks them but exempts them from the
+// single-writer rule, which documents (and machine-checks) exactly
+// where this baseline leaves the substrate.
 #pragma once
 
 #include <atomic>
@@ -21,6 +29,8 @@
 #include <vector>
 
 #include "core/snapshot.h"
+#include "sched/access.h"
+#include "sched/schedule_point.h"
 #include "util/assert.h"
 
 namespace compreg::baselines {
@@ -32,12 +42,16 @@ class SeqlockSnapshot final : public core::Snapshot<V> {
  public:
   SeqlockSnapshot(int components, int num_readers, const V& initial)
       : c_(components), r_(num_readers),
+        version_access_("seqlock.version", sched::Discipline::kMrmw, 0),
+        lock_access_("seqlock.lock", sched::Discipline::kMrmw, 0),
         slots_(std::make_unique<Slot[]>(static_cast<std::size_t>(components))) {
     COMPREG_CHECK(components >= 1);
     COMPREG_CHECK(num_readers >= 1);
+    slot_access_.reserve(static_cast<std::size_t>(c_));
     for (int k = 0; k < c_; ++k) {
       slots_[static_cast<std::size_t>(k)].value.store(
           initial, std::memory_order_relaxed);
+      slot_access_.emplace_back("seqlock.slot", sched::Discipline::kMrmw, 0);
     }
     stats_ = std::make_unique<SlotStats[]>(static_cast<std::size_t>(r_));
   }
@@ -47,14 +61,23 @@ class SeqlockSnapshot final : public core::Snapshot<V> {
 
   std::uint64_t update(int component, const V& value) override {
     const std::size_t k = static_cast<std::size_t>(component);
-    while (writer_lock_.test_and_set(std::memory_order_acquire)) {
+    for (;;) {
+      // One schedule point per acquisition attempt, so a spinning
+      // writer keeps yielding under the simulator instead of wedging
+      // the lockstep.
+      sched::point(lock_access_.write());
+      if (!writer_lock_.test_and_set(std::memory_order_acquire)) break;
       // spin: writers serialize (not wait-free; that is the point)
     }
+    sched::point(version_access_.write());
     version_.fetch_add(1, std::memory_order_seq_cst);  // now odd
+    sched::point(slot_access_[k].write());
     const std::uint64_t id = slots_[k].id.load(std::memory_order_relaxed) + 1;
     slots_[k].value.store(value, std::memory_order_seq_cst);
     slots_[k].id.store(id, std::memory_order_seq_cst);
+    sched::point(version_access_.write());
     version_.fetch_add(1, std::memory_order_seq_cst);  // even again
+    sched::point(lock_access_.write());
     writer_lock_.clear(std::memory_order_release);
     return id;
   }
@@ -64,13 +87,16 @@ class SeqlockSnapshot final : public core::Snapshot<V> {
     std::uint64_t attempts = 0;
     for (;;) {
       ++attempts;
+      sched::point(version_access_.read());
       const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
       if (v1 % 2 != 0) continue;  // write in flight
       for (int k = 0; k < c_; ++k) {
         const std::size_t ku = static_cast<std::size_t>(k);
+        sched::point(slot_access_[ku].read());
         out[ku].val = slots_[ku].value.load(std::memory_order_seq_cst);
         out[ku].id = slots_[ku].id.load(std::memory_order_seq_cst);
       }
+      sched::point(version_access_.read());
       const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
       if (v1 == v2) break;
     }
@@ -106,6 +132,9 @@ class SeqlockSnapshot final : public core::Snapshot<V> {
 
   const int c_;
   const int r_;
+  sched::AccessLabel version_access_;
+  sched::AccessLabel lock_access_;
+  std::vector<sched::AccessLabel> slot_access_;  // one per component
   std::atomic<std::uint64_t> version_{0};
   std::atomic_flag writer_lock_ = ATOMIC_FLAG_INIT;
   std::unique_ptr<Slot[]> slots_;

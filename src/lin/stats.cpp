@@ -117,6 +117,15 @@ HistoryStats compute_stats(const History& h) {
   return stats;
 }
 
+std::string ConformanceCounters::summary() const {
+  std::ostringstream os;
+  os << cells << " cells (" << swmr_cells << " swmr, " << swsr_cells
+     << " swsr, " << mrmw_cells << " mrmw), " << accesses() << " accesses ("
+     << reads << " reads, " << writes << " writes), " << findings
+     << " findings";
+  return os.str();
+}
+
 std::string HistoryStats::summary() const {
   std::ostringstream os;
   os << writes << " writes (" << pending_writes << " pending), " << reads

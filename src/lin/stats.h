@@ -34,4 +34,25 @@ struct HistoryStats {
 
 HistoryStats compute_stats(const History& h);
 
+// Counters accumulated by the protocol-conformance analyzer
+// (src/analysis) over one checked execution: how many base registers
+// the execution touched, at which discipline, and how much labeled
+// traffic the checkers saw. A clean conformance verdict over zero
+// observed accesses proves nothing, so the fuzz driver and tests
+// assert these alongside the findings list — the same reasoning that
+// puts concurrency-degree metrics next to the linearizability verdict
+// above.
+struct ConformanceCounters {
+  std::uint64_t cells = 0;       // distinct base registers accessed
+  std::uint64_t swmr_cells = 0;  // declared single-writer
+  std::uint64_t swsr_cells = 0;  // declared single-writer single-reader
+  std::uint64_t mrmw_cells = 0;  // declared multi-writer (off-substrate)
+  std::uint64_t reads = 0;       // labeled read accesses observed
+  std::uint64_t writes = 0;      // labeled write accesses observed
+  std::uint64_t findings = 0;    // discipline violations reported
+
+  std::uint64_t accesses() const { return reads + writes; }
+  std::string summary() const;
+};
+
 }  // namespace compreg::lin

@@ -93,6 +93,9 @@ History run_native_workload(core::Snapshot<std::uint64_t>& snap,
   threads.reserve(static_cast<std::size_t>(c + r));
   for (int k = 0; k < c; ++k) {
     threads.emplace_back([&, k] {
+      // Label the thread for the conformance analyzer (no scheduler is
+      // attached, so the id is inert outside labeled access reports).
+      sched::thread_context().proc_id = k;
       sched::StressInterleaving stress(cfg.stress_permille,
                                        cfg.seed * 1315423911u +
                                            static_cast<std::uint64_t>(k));
@@ -102,6 +105,7 @@ History run_native_workload(core::Snapshot<std::uint64_t>& snap,
   }
   for (int j = 0; j < r; ++j) {
     threads.emplace_back([&, j] {
+      sched::thread_context().proc_id = c + j;
       sched::StressInterleaving stress(cfg.stress_permille,
                                        cfg.seed * 2654435761u + 1000003u +
                                            static_cast<std::uint64_t>(j));
@@ -147,6 +151,7 @@ History run_native_workload_mw(core::MultiWriterSnapshot<std::uint64_t>& snap,
   threads.reserve(static_cast<std::size_t>(n + r));
   for (int p = 0; p < n; ++p) {
     threads.emplace_back([&, p] {
+      sched::thread_context().proc_id = p;
       sched::StressInterleaving stress(cfg.stress_permille,
                                        cfg.seed * 40503u +
                                            static_cast<std::uint64_t>(p));
@@ -172,6 +177,7 @@ History run_native_workload_mw(core::MultiWriterSnapshot<std::uint64_t>& snap,
   }
   for (int j = 0; j < r; ++j) {
     threads.emplace_back([&, j] {
+      sched::thread_context().proc_id = n + j;
       sched::StressInterleaving stress(cfg.stress_permille,
                                        cfg.seed * 104729u + 7u +
                                            static_cast<std::uint64_t>(j));

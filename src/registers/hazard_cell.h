@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "sched/access.h"
 #include "sched/schedule_point.h"
 #include "util/assert.h"
 #include "util/op_counter.h"
@@ -32,6 +33,7 @@ class HazardCell {
   HazardCell(int readers, T initial, const char* label = "cell",
              std::uint64_t payload_bits = sizeof(T) * 8)
       : readers_(readers),
+        access_(label, sched::Discipline::kSwmr, readers),
         hazards_(std::make_unique<HazardSlot[]>(
             static_cast<std::size_t>(readers))) {
     COMPREG_CHECK(readers >= 1);
@@ -55,7 +57,7 @@ class HazardCell {
   // distinct slot (two sequential reads may share one).
   T read(int reader_id) {
     COMPREG_DCHECK(reader_id >= 0 && reader_id < readers_);
-    sched::point();
+    sched::point(access_.read(reader_id));
     ++op_counters().reg_reads;
     HazardSlot& slot = hazards_[static_cast<std::size_t>(reader_id)];
     Node* node = current_.load(std::memory_order_seq_cst);
@@ -72,7 +74,7 @@ class HazardCell {
 
   // Single writer.
   void write(const T& value) {
-    sched::point();
+    sched::point(access_.write());
     ++op_counters().reg_writes;
     Node* node = new Node{value};
     Node* old = current_.exchange(node, std::memory_order_seq_cst);
@@ -112,6 +114,7 @@ class HazardCell {
   }
 
   const int readers_;
+  sched::AccessLabel access_;
   std::atomic<Node*> current_{nullptr};
   std::unique_ptr<HazardSlot[]> hazards_;
   std::vector<Node*> retired_;  // writer-private

@@ -12,18 +12,25 @@
 // (MRSW-from-SWSR construction) and available on its own. Note this is
 // a *building block* below the MRSW model granularity: it does not
 // count toward op_counters() and does not take schedule points; the
-// cells built from it do.
+// cells built from it do. Each operation is still reported to the
+// conformance analyzer via sched::observe() — the four-slot protocol is
+// only correct under SWSR discipline (one writing and one reading
+// process), so the analyzer certifies exactly that.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+
+#include "sched/access.h"
+#include "sched/schedule_point.h"
 
 namespace compreg::registers {
 
 template <typename T>
 class SimpsonRegister {
  public:
-  explicit SimpsonRegister(const T& initial) {
+  explicit SimpsonRegister(const T& initial)
+      : access_("simpson", sched::Discipline::kSwsr, /*readers=*/1) {
     for (auto& pair : data_) {
       for (auto& slot : pair) slot = initial;
     }
@@ -34,6 +41,7 @@ class SimpsonRegister {
 
   // Single writer.
   void write(const T& item) {
+    sched::observe(access_.write());
     const std::uint8_t wp =
         1 - reading_.load(std::memory_order_seq_cst);           // avoid reader
     const std::uint8_t wi =
@@ -45,6 +53,7 @@ class SimpsonRegister {
 
   // Single reader.
   T read() {
+    sched::observe(access_.read(0));
     const std::uint8_t rp = latest_.load(std::memory_order_seq_cst);
     reading_.store(rp, std::memory_order_seq_cst);
     const std::uint8_t ri = slot_[rp].load(std::memory_order_seq_cst);
@@ -52,6 +61,7 @@ class SimpsonRegister {
   }
 
  private:
+  sched::AccessLabel access_;
   T data_[2][2];
   std::atomic<std::uint8_t> latest_{0};   // written by writer
   std::atomic<std::uint8_t> reading_{0};  // written by reader

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "registers/simpson.h"
+#include "sched/access.h"
 #include "sched/schedule_point.h"
 #include "util/assert.h"
 #include "util/op_counter.h"
@@ -39,7 +40,7 @@ class TaggedCell {
  public:
   TaggedCell(int readers, T initial, const char* label = "tagged_cell",
              std::uint64_t payload_bits = sizeof(T) * 8)
-      : readers_(readers) {
+      : readers_(readers), access_(label, sched::Discipline::kSwmr, readers) {
     COMPREG_CHECK(readers >= 1);
     const Tagged init{initial, 0};
     own_.reserve(static_cast<std::size_t>(readers));
@@ -61,7 +62,7 @@ class TaggedCell {
 
   T read(int reader_id) {
     COMPREG_DCHECK(reader_id >= 0 && reader_id < readers_);
-    sched::point();
+    sched::point(access_.read(reader_id));
     ++op_counters().reg_reads;
     Tagged best = own_[static_cast<std::size_t>(reader_id)]->read();
     for (int i = 0; i < readers_; ++i) {
@@ -78,7 +79,7 @@ class TaggedCell {
 
   // Single writer.
   void write(const T& value) {
-    sched::point();
+    sched::point(access_.write());
     ++op_counters().reg_writes;
     const Tagged item{value, ++tag_};
     for (auto& reg : own_) reg->write(item);
@@ -97,6 +98,7 @@ class TaggedCell {
   }
 
   const int readers_;
+  sched::AccessLabel access_;
   std::uint64_t tag_ = 0;  // writer-private
   // own_[j]: writer -> reader j.
   std::vector<std::unique_ptr<SimpsonRegister<Tagged>>> own_;

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <type_traits>
 
+#include "sched/access.h"
 #include "sched/schedule_point.h"
 #include "util/op_counter.h"
 #include "util/space_accounting.h"
@@ -27,7 +28,11 @@ class WordRegister {
   explicit WordRegister(T initial, const char* label = "word",
                         unsigned payload_bits = sizeof(T) * 8,
                         int readers = 1)
-      : value_(initial) {
+      : value_(initial),
+        // Hardware registers keep no per-reader state, so accesses are
+        // unslotted (declared readers = 0); single-writer discipline
+        // still applies and is certified by the conformance analyzer.
+        access_(label, sched::Discipline::kSwmr, /*readers=*/0) {
     account_register(label, payload_bits, readers);
   }
 
@@ -35,19 +40,20 @@ class WordRegister {
   WordRegister& operator=(const WordRegister&) = delete;
 
   T read() {
-    sched::point();
+    sched::point(access_.read());
     ++op_counters().reg_reads;
     return value_.load(std::memory_order_seq_cst);
   }
 
   void write(T value) {
-    sched::point();
+    sched::point(access_.write());
     ++op_counters().reg_writes;
     value_.store(value, std::memory_order_seq_cst);
   }
 
  private:
   std::atomic<T> value_;
+  sched::AccessLabel access_;
 };
 
 // Cell-concept adapter for WordRegister: same constructor and access

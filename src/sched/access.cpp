@@ -1,0 +1,28 @@
+#include "sched/access.h"
+
+#include <atomic>
+
+namespace compreg::sched {
+
+namespace {
+
+// Cell ids start at 1; 0 is reserved for "undeclared".
+std::atomic<std::uint64_t> g_next_cell_id{1};
+
+std::atomic<AccessObserver*> g_observer{nullptr};
+
+}  // namespace
+
+std::uint64_t new_cell_id() {
+  return g_next_cell_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_access_observer(AccessObserver* observer) {
+  g_observer.store(observer, std::memory_order_release);
+}
+
+AccessObserver* access_observer() {
+  return g_observer.load(std::memory_order_acquire);
+}
+
+}  // namespace compreg::sched

@@ -24,6 +24,24 @@ void point() {
   }
 }
 
+void point(const Access& access) {
+  point();
+  observe(access);
+}
+
+void observe(const Access& access) {
+  AccessObserver* obs = access_observer();
+  if (obs != nullptr) [[unlikely]] {
+    ThreadContext& ctx = thread_context();
+    // Under the simulator the calling process holds the turn here, so
+    // trace().size() is this access's schedule position and observer
+    // calls are serialized by the lockstep.
+    const std::uint64_t pos =
+        ctx.scheduler != nullptr ? ctx.scheduler->steps() : 0;
+    obs->on_access(access, ctx.proc_id, pos);
+  }
+}
+
 void park_after(std::uint64_t points) {
   // +1: the budget is decremented after winning the turn for a point,
   // so "park after N points" means the N-th granted access never

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "sched/access.h"
 #include "util/rng.h"
 
 namespace compreg::sched {
@@ -38,6 +39,19 @@ ThreadContext& thread_context();
 
 // Called before every shared-register access.
 void point();
+
+// Labeled form: identical scheduling behavior, and additionally reports
+// the access descriptor to the installed AccessObserver (access.h) once
+// the calling process holds the turn — i.e. immediately before the
+// access takes effect. An access whose process crashes at this point
+// (ProcessParked) is never reported: it never executed.
+void point(const Access& access);
+
+// Report an access to the observer WITHOUT taking a schedule point.
+// For sub-model-granularity registers (SimpsonRegister) whose
+// operations execute inside the enclosing cell's schedule point but
+// still carry a usage discipline worth certifying.
+void observe(const Access& access);
 
 // Thrown from point() when a park budget expires. Simulator process
 // bodies may catch it to record the interrupted operation; uncaught, it

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 
+#include "sched/access.h"
+#include "sched/schedule_point.h"
 #include "theory/chain.h"
 #include "util/op_counter.h"
 #include "util/space_accounting.h"
@@ -34,7 +36,8 @@ class TheoryCell {
  public:
   TheoryCell(int readers, T initial, const char* label = "theory_cell",
              std::uint64_t payload_bits = sizeof(T) * 8)
-      : inner_(readers, initial) {
+      : access_(label, sched::Discipline::kSwmr, readers),
+        inner_(readers, initial) {
     account_register(label, payload_bits, readers);
   }
 
@@ -43,15 +46,20 @@ class TheoryCell {
 
   T read(int reader_id) {
     ++op_counters().reg_reads;  // one MRSW-model operation
+    // observe(), not point(): the chain already takes schedule points at
+    // the primitive level; the model-level access is only labeled.
+    sched::observe(access_.read(reader_id));
     return inner_.read(reader_id);
   }
 
   void write(const T& value) {
     ++op_counters().reg_writes;
+    sched::observe(access_.write());
     inner_.write(value);
   }
 
  private:
+  sched::AccessLabel access_;
   AtomicMrswFromSwsr<T> inner_;
 };
 

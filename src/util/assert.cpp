@@ -31,4 +31,10 @@ void panic_check(const char* file, int line, const char* cond_str,
   std::abort();
 }
 
+void panic_check(const char* file, int line, const char* cond_str) {
+  std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, cond_str);
+  std::fflush(stderr);
+  std::abort();
+}
+
 }  // namespace compreg

@@ -20,18 +20,25 @@ namespace compreg {
                               const char* cond_str, const char* fmt, ...)
     __attribute__((format(printf, 4, 5)));
 
+// Message-less overload, selected by COMPREG_CHECK when no format
+// arguments are given (avoids the zero-length format string the old
+// `"" __VA_ARGS__` splice produced).
+[[noreturn]] void panic_check(const char* file, int line,
+                              const char* cond_str);
+
 }  // namespace compreg
 
 #define COMPREG_CHECK(cond, ...)                                     \
   do {                                                               \
     if (!(cond)) [[unlikely]] {                                      \
-      ::compreg::panic_check(__FILE__, __LINE__, #cond,              \
-                             "" __VA_ARGS__);                        \
+      ::compreg::panic_check(__FILE__, __LINE__,                     \
+                             #cond __VA_OPT__(, ) __VA_ARGS__);      \
     }                                                                \
   } while (0)
 
 #ifndef NDEBUG
-#define COMPREG_DCHECK(cond, ...) COMPREG_CHECK(cond, ##__VA_ARGS__)
+#define COMPREG_DCHECK(cond, ...) \
+  COMPREG_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
 #else
 #define COMPREG_DCHECK(cond, ...) \
   do {                            \

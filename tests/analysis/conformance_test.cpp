@@ -1,0 +1,399 @@
+// Tests for the SWMR ownership checker and the AnalysisReport format:
+// unit-level checker semantics, dump/parse round-trips, seeded-mutant
+// detection (tests/analysis/mutants.h), and clean sweeps over every
+// shipped implementation — exhaustive near the start of an execution,
+// randomized beyond it.
+#include "analysis/conformance.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/race.h"
+#include "baselines/afek_snapshot.h"
+#include "baselines/double_collect.h"
+#include "baselines/mutex_snapshot.h"
+#include "baselines/seqlock_snapshot.h"
+#include "baselines/unbounded_helping.h"
+#include "core/composite_register.h"
+#include "lin/workload.h"
+#include "mutants.h"
+#include "sched/access.h"
+#include "sched/exhaustive.h"
+#include "sched/policy.h"
+
+namespace compreg::analysis {
+namespace {
+
+sched::Access make_access(std::uint64_t cell, const char* owner,
+                          sched::Discipline disc, int readers,
+                          sched::AccessKind kind, int slot = -1) {
+  sched::Access a;
+  a.decl = sched::CellDecl{cell, owner, disc, readers};
+  a.kind = kind;
+  a.slot = slot;
+  return a;
+}
+
+// ---------------------------------------------------------------------
+// Checker unit semantics (driving on_access directly).
+// ---------------------------------------------------------------------
+
+TEST(ConformanceChecker, SingleWriterStaysClean) {
+  ConformanceChecker checker;
+  const auto w = make_access(7, "y", sched::Discipline::kSwmr, 2,
+                             sched::AccessKind::kWrite);
+  const auto r = make_access(7, "y", sched::Discipline::kSwmr, 2,
+                             sched::AccessKind::kRead, 0);
+  checker.on_access(w, /*proc=*/0, 1);
+  checker.on_access(r, /*proc=*/1, 2);
+  checker.on_access(w, /*proc=*/0, 3);
+  EXPECT_TRUE(checker.clean());
+  const AnalysisReport report = checker.report();
+  EXPECT_EQ(report.counters.cells, 1u);
+  EXPECT_EQ(report.counters.swmr_cells, 1u);
+  EXPECT_EQ(report.counters.writes, 2u);
+  EXPECT_EQ(report.counters.reads, 1u);
+}
+
+TEST(ConformanceChecker, SecondWriterIsFlaggedWithBothSites) {
+  ConformanceChecker checker;
+  const auto w = make_access(9, "y", sched::Discipline::kSwmr, 1,
+                             sched::AccessKind::kWrite);
+  checker.on_access(w, /*proc=*/0, 4);
+  checker.on_access(w, /*proc=*/2, 11);
+  checker.on_access(w, /*proc=*/2, 12);  // same offender: no second finding
+  ASSERT_FALSE(checker.clean());
+  const AnalysisReport report = checker.report();
+  ASSERT_EQ(report.findings.size(), 1u);
+  const Finding& f = report.findings[0];
+  EXPECT_EQ(f.kind, "multi-writer");
+  EXPECT_EQ(f.cell, 9u);
+  EXPECT_EQ(f.owner, "y");
+  EXPECT_EQ(f.proc_a, 0);
+  EXPECT_EQ(f.proc_b, 2);
+  EXPECT_EQ(f.pos_a, 4u);
+  EXPECT_EQ(f.pos_b, 11u);
+}
+
+TEST(ConformanceChecker, ThirdWriterGetsItsOwnFinding) {
+  ConformanceChecker checker;
+  const auto w = make_access(3, "y", sched::Discipline::kSwmr, 1,
+                             sched::AccessKind::kWrite);
+  checker.on_access(w, 0, 1);
+  checker.on_access(w, 1, 2);
+  checker.on_access(w, 2, 3);
+  EXPECT_EQ(checker.report().findings.size(), 2u);
+}
+
+TEST(ConformanceChecker, MrmwCellsAreExempt) {
+  ConformanceChecker checker;
+  const auto w = make_access(5, "lock", sched::Discipline::kMrmw, 0,
+                             sched::AccessKind::kWrite);
+  checker.on_access(w, 0, 1);
+  checker.on_access(w, 1, 2);
+  checker.on_access(w, 2, 3);
+  EXPECT_TRUE(checker.clean());
+  EXPECT_EQ(checker.report().counters.mrmw_cells, 1u);
+}
+
+TEST(ConformanceChecker, SwsrSecondReaderIsFlagged) {
+  ConformanceChecker checker;
+  const auto r = make_access(6, "simpson", sched::Discipline::kSwsr, 1,
+                             sched::AccessKind::kRead, 0);
+  checker.on_access(r, 3, 1);
+  checker.on_access(r, 4, 2);
+  ASSERT_EQ(checker.report().findings.size(), 1u);
+  EXPECT_EQ(checker.report().findings[0].kind, "multi-reader");
+}
+
+TEST(ConformanceChecker, SlotOutsideDeclaredCapacity) {
+  ConformanceChecker checker;
+  const auto r = make_access(8, "y", sched::Discipline::kSwmr, 2,
+                             sched::AccessKind::kRead, 2);
+  checker.on_access(r, 1, 1);
+  ASSERT_EQ(checker.report().findings.size(), 1u);
+  EXPECT_EQ(checker.report().findings[0].kind, "bad-slot");
+}
+
+TEST(ConformanceChecker, UndeclaredCellIsFlaggedOnce) {
+  ConformanceChecker checker;
+  const auto w = make_access(0, "?", sched::Discipline::kSwmr, 0,
+                             sched::AccessKind::kWrite);
+  checker.on_access(w, 0, 1);
+  checker.on_access(w, 1, 2);
+  ASSERT_EQ(checker.report().findings.size(), 1u);
+  EXPECT_EQ(checker.report().findings[0].kind, "undeclared-cell");
+}
+
+TEST(ConformanceChecker, ResetForgetsOwnership) {
+  ConformanceChecker checker;
+  const auto w = make_access(2, "y", sched::Discipline::kSwmr, 1,
+                             sched::AccessKind::kWrite);
+  checker.on_access(w, 0, 1);
+  checker.reset();
+  checker.on_access(w, 1, 1);  // a fresh execution may pick a new writer
+  EXPECT_TRUE(checker.clean());
+}
+
+// ---------------------------------------------------------------------
+// Report text/dump round-trip.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisReport, DumpParseRoundTrip) {
+  AnalysisReport report;
+  report.counters.cells = 3;
+  report.counters.swmr_cells = 2;
+  report.counters.swsr_cells = 0;
+  report.counters.mrmw_cells = 1;
+  report.counters.reads = 40;
+  report.counters.writes = 17;
+  report.counters.findings = 2;
+  Finding a;
+  a.kind = "multi-writer";
+  a.cell = 12;
+  a.owner = "r_k";
+  a.proc_a = 0;
+  a.proc_b = 3;
+  a.pos_a = 9;
+  a.pos_b = 31;
+  a.detail = "single-writer cell written by process 3";
+  Finding b;
+  b.kind = "bad-slot";
+  b.cell = 14;
+  b.owner = "Y0";
+  b.proc_a = 2;
+  b.pos_a = 77;
+  b.detail = "reader slot 5 outside declared capacity 2";
+  report.findings = {a, b};
+
+  const std::string dump = report.dump();
+  const auto parsed = parse_report(dump);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counters.cells, 3u);
+  EXPECT_EQ(parsed->counters.mrmw_cells, 1u);
+  EXPECT_EQ(parsed->counters.reads, 40u);
+  EXPECT_EQ(parsed->counters.writes, 17u);
+  ASSERT_EQ(parsed->findings.size(), 2u);
+  EXPECT_EQ(parsed->findings[0].kind, "multi-writer");
+  EXPECT_EQ(parsed->findings[0].cell, 12u);
+  EXPECT_EQ(parsed->findings[0].owner, "r_k");
+  EXPECT_EQ(parsed->findings[0].proc_b, 3);
+  EXPECT_EQ(parsed->findings[0].pos_b, 31u);
+  EXPECT_EQ(parsed->findings[0].detail, a.detail);
+  EXPECT_EQ(parsed->findings[1].kind, "bad-slot");
+  EXPECT_EQ(parsed->findings[1].proc_b, -1);
+  // Round-trip is a fixed point.
+  EXPECT_EQ(parsed->dump(), dump);
+}
+
+TEST(AnalysisReport, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_report(std::string("nonsense 1 2 3\n")).has_value());
+  EXPECT_FALSE(parse_report(std::string("conformance 1 2\n")).has_value());
+  // Declared one finding but provided none.
+  EXPECT_FALSE(parse_report(std::string("conformance 1 2 1\n")).has_value());
+}
+
+TEST(AnalysisReport, TextNamesEveryFinding) {
+  AnalysisReport report;
+  Finding f;
+  f.kind = "multi-writer";
+  f.cell = 4;
+  f.owner = "y";
+  f.proc_a = 0;
+  f.proc_b = 1;
+  f.pos_a = 2;
+  f.pos_b = 6;
+  f.detail = "d";
+  report.findings.push_back(f);
+  report.counters.findings = 1;
+  const std::string text = report.text();
+  EXPECT_NE(text.find("multi-writer"), std::string::npos);
+  EXPECT_NE(text.find("cell 4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Seeded mutants: each must be flagged with cell id, both processes,
+// and schedule positions.
+// ---------------------------------------------------------------------
+
+TEST(MutantDetection, ReaderEchoIsFlaggedAsMultiWriter) {
+  mutants::ReaderEchoSnapshot<std::uint64_t> snap(/*components=*/2,
+                                                  /*num_readers=*/2, 0);
+  ConformanceChecker checker;
+  sched::RandomPolicy policy(42);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 3;
+  cfg.scans_per_reader = 3;
+  {
+    sched::ScopedAccessObserver observe(&checker);
+    lin::run_sim_workload(snap, policy, cfg);
+  }
+  ASSERT_FALSE(checker.clean());
+  const AnalysisReport report = checker.report();
+  bool found = false;
+  for (const Finding& f : report.findings) {
+    if (f.kind != "multi-writer") continue;
+    found = true;
+    EXPECT_NE(f.cell, 0u);
+    EXPECT_EQ(f.owner, "r_k");
+    // Both access sites named: two distinct processes, real positions.
+    EXPECT_GE(f.proc_a, 0);
+    EXPECT_GE(f.proc_b, 0);
+    EXPECT_NE(f.proc_a, f.proc_b);
+    EXPECT_GT(f.pos_a, 0u);
+    EXPECT_GT(f.pos_b, 0u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MutantDetection, SharedBroadcastFlaggedInEveryInterleaving) {
+  ConformanceChecker checker;
+  sched::ScopedAccessObserver observe(&checker);
+  std::uint64_t violations_seen = 0;
+  sched::Scenario scenario =
+      [&](sched::SimScheduler& sim) -> std::function<void()> {
+    checker.reset();
+    auto mutant = std::make_shared<mutants::SharedBroadcastMutant>();
+    sim.spawn([mutant] { mutant->publish(1); });
+    sim.spawn([mutant] { mutant->publish(2); });
+    return [&, mutant] {
+      const AnalysisReport report = checker.report();
+      ASSERT_EQ(report.findings.size(), 1u);
+      const Finding& f = report.findings[0];
+      EXPECT_EQ(f.kind, "multi-writer");
+      EXPECT_NE(f.cell, 0u);
+      EXPECT_EQ(f.owner, "broadcast");
+      EXPECT_NE(f.proc_a, f.proc_b);
+      EXPECT_GT(f.pos_a, 0u);
+      EXPECT_GT(f.pos_b, 0u);
+      ++violations_seen;
+    };
+  };
+  const sched::ExploreStats stats = sched::explore(scenario, /*max_depth=*/4);
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_EQ(stats.schedules, 2u);  // two writes, C(2,1) interleavings
+  EXPECT_EQ(violations_seen, stats.schedules);
+}
+
+// ---------------------------------------------------------------------
+// Shipped implementations are clean: exhaustively near the schedule
+// start, and under randomized fuzz sweeps beyond it.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<core::Snapshot<std::uint64_t>> make_shipped(int which, int c,
+                                                            int r) {
+  switch (which) {
+    case 0:
+      return std::make_unique<core::CompositeRegister<std::uint64_t>>(c, r, 0);
+    case 1:
+      return std::make_unique<baselines::AfekSnapshot<std::uint64_t>>(c, r, 0);
+    case 2:
+      return std::make_unique<
+          baselines::UnboundedHelpingSnapshot<std::uint64_t>>(c, r, 0);
+    case 3:
+      return std::make_unique<
+          baselines::DoubleCollectSnapshot<std::uint64_t>>(c, r, 0);
+    case 4:
+      return std::make_unique<baselines::SeqlockSnapshot<std::uint64_t>>(c, r,
+                                                                         0);
+    default:
+      return std::make_unique<baselines::MutexSnapshot<std::uint64_t>>(c, r,
+                                                                       0);
+  }
+}
+
+constexpr const char* kShippedNames[] = {"anderson",      "afek",
+                                         "unbounded",     "doublecollect",
+                                         "seqlock",       "mutex"};
+
+TEST(ShippedImplementations, CleanUnderExhaustiveSweep) {
+  ConformanceChecker checker;
+  sched::ScopedAccessObserver observe(&checker);
+  for (int which = 0; which < 6; ++which) {
+    sched::Scenario scenario =
+        [&](sched::SimScheduler& sim) -> std::function<void()> {
+      checker.reset();
+      std::shared_ptr<core::Snapshot<std::uint64_t>> snap =
+          make_shipped(which, /*c=*/2, /*r=*/1);
+      if (which == 4) {
+        // Seqlock's writer lock is held across schedule points; with
+        // two writers the explorer's deterministic beyond-depth tail
+        // (always pick the lowest runnable proc) can starve the lock
+        // holder forever. One writer exercises the same cells without
+        // the livelock.
+        sim.spawn([snap] {
+          snap->update(0, 7);
+          snap->update(1, 9);
+        });
+      } else {
+        sim.spawn([snap] { snap->update(0, 7); });
+        sim.spawn([snap] { snap->update(1, 9); });
+      }
+      sim.spawn([snap] { (void)snap->scan(0); });
+      return [&, snap, which] {
+        const AnalysisReport report = checker.report();
+        EXPECT_TRUE(report.ok())
+            << kShippedNames[which] << ":\n" << report.text();
+      };
+    };
+    const sched::ExploreStats stats =
+        sched::explore(scenario, /*max_depth=*/5, /*max_schedules=*/5'000);
+    EXPECT_GT(stats.schedules, 1u) << kShippedNames[which];
+  }
+}
+
+TEST(ShippedImplementations, CleanUnderSimFuzzSweep) {
+  ConformanceChecker checker;
+  for (int which = 0; which < 6; ++which) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      auto snap = make_shipped(which, /*c=*/3, /*r=*/2);
+      checker.reset();
+      sched::RandomPolicy policy(seed);
+      lin::WorkloadConfig cfg;
+      cfg.writes_per_writer = 4;
+      cfg.scans_per_reader = 4;
+      cfg.seed = seed;
+      {
+        sched::ScopedAccessObserver observe(&checker);
+        lin::run_sim_workload(*snap, policy, cfg);
+      }
+      const AnalysisReport report = checker.report();
+      EXPECT_TRUE(report.ok()) << kShippedNames[which] << " seed " << seed
+                               << ":\n" << report.text();
+      // A clean verdict over zero accesses would prove nothing.
+      EXPECT_GT(report.counters.accesses(), 0u) << kShippedNames[which];
+    }
+  }
+}
+
+TEST(ShippedImplementations, BaselinesCleanOnNativeThreads) {
+  // Full session (ownership + race detector) on free-running threads.
+  AnalysisSession session(/*detect_races=*/true);
+  for (int which = 0; which < 6; ++which) {
+    if (which == 0) continue;  // composite native run covered by its own
+                               // concurrent tests; keep this one quick
+    session.reset();
+    auto snap = make_shipped(which, /*c=*/3, /*r=*/2);
+    lin::WorkloadConfig cfg;
+    cfg.writes_per_writer = 200;
+    cfg.scans_per_reader = 200;
+    cfg.stress_permille = 100;
+    cfg.seed = 7;
+    {
+      sched::ScopedAccessObserver observe(&session);
+      lin::run_native_workload(*snap, cfg);
+    }
+    const AnalysisReport report = session.report();
+    EXPECT_TRUE(report.ok()) << kShippedNames[which] << ":\n"
+                             << report.text();
+    EXPECT_GT(report.counters.accesses(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace compreg::analysis

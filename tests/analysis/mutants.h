@@ -1,0 +1,164 @@
+// Deliberately-broken register users for analyzer calibration.
+//
+// Each mutant violates the paper's substrate discipline (Section 2) in
+// a way the linearizability checkers may never notice — the conformance
+// analyzer must flag every one, and tests/analysis asserts that it
+// does while every shipped implementation stays clean.
+//
+// All mutants either run under the deterministic simulator (which
+// serializes steps, so the broken sharing is a *model* violation, not a
+// memory race) or serialize their accesses with a plain std::mutex the
+// analyzer cannot see (so TSan stays quiet while the model-level
+// discipline is still violated).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/item.h"
+#include "core/snapshot.h"
+#include "registers/hazard_cell.h"
+#include "registers/word_register.h"
+#include "util/assert.h"
+
+namespace compreg::mutants {
+
+// Double-collect variant whose scan "helps" by echoing the value it
+// collected for component 0 back into component 0's register. The echo
+// rewrites the exact Item it just read, so sequential behavior is
+// unchanged — but the reader is now a second writer of the writer's
+// SWMR cell, which the ownership checker must report as multi-writer.
+// Simulator-only for concurrent use (like every multi-writer misuse of
+// HazardCell).
+template <typename V>
+class ReaderEchoSnapshot final : public core::Snapshot<V> {
+ public:
+  ReaderEchoSnapshot(int components, int num_readers, const V& initial)
+      : c_(components), r_(num_readers) {
+    COMPREG_CHECK(components >= 1);
+    COMPREG_CHECK(num_readers >= 1);
+    regs_.reserve(static_cast<std::size_t>(c_));
+    for (int k = 0; k < c_; ++k) {
+      regs_.push_back(std::make_unique<registers::HazardCell<core::Item<V>>>(
+          r_, core::Item<V>{initial, 0}, "r_k"));
+    }
+    seq_.assign(static_cast<std::size_t>(c_), 0);
+  }
+
+  int components() const override { return c_; }
+  int readers() const override { return r_; }
+
+  std::uint64_t update(int component, const V& value) override {
+    const std::size_t k = static_cast<std::size_t>(component);
+    const std::uint64_t id = ++seq_[k];
+    regs_[k]->write(core::Item<V>{value, id});
+    return id;
+  }
+
+  void scan_items(int reader_id, std::vector<core::Item<V>>& out) override {
+    std::vector<core::Item<V>> prev(static_cast<std::size_t>(c_));
+    out.resize(static_cast<std::size_t>(c_));
+    collect(reader_id, prev);
+    for (;;) {
+      collect(reader_id, out);
+      bool same = true;
+      for (int k = 0; k < c_; ++k) {
+        if (out[static_cast<std::size_t>(k)].id !=
+            prev[static_cast<std::size_t>(k)].id) {
+          same = false;
+          break;
+        }
+      }
+      if (same) break;
+      std::swap(prev, out);
+    }
+    // BUG under test: the reader writes the writer's cell.
+    regs_[0]->write(out[0]);
+  }
+
+  using core::Snapshot<V>::scan;
+  using core::Snapshot<V>::scan_items;
+
+ private:
+  void collect(int reader_id, std::vector<core::Item<V>>& out) {
+    for (int k = 0; k < c_; ++k) {
+      out[static_cast<std::size_t>(k)] =
+          regs_[static_cast<std::size_t>(k)]->read(reader_id);
+    }
+  }
+
+  const int c_;
+  const int r_;
+  std::vector<std::unique_ptr<registers::HazardCell<core::Item<V>>>> regs_;
+  std::vector<std::uint64_t> seq_;
+};
+
+// "Last writer wins" broadcast: every process publishes through the
+// SAME WordRegister — multi-writer use of a declared-SWMR register.
+// Run under the simulator (WordRegister's atomic makes the value itself
+// safe; the *discipline* is what is broken).
+class SharedBroadcastMutant {
+ public:
+  SharedBroadcastMutant() : word_(0, "broadcast") {}
+
+  void publish(std::uint64_t value) { word_.write(value); }
+  std::uint64_t last() { return word_.read(); }
+
+ private:
+  registers::WordRegister<std::uint64_t> word_;
+};
+
+// Native mutant: two threads take turns writing one component of a
+// snapshot-like object. The std::mutex keeps the memory race-free (so
+// TSan has nothing to say) but is invisible to the analyzer — exactly
+// the situation the vector-clock detector must report as a write-race
+// and the ownership checker as multi-writer.
+class LockedWriteShareMutant {
+ public:
+  LockedWriteShareMutant()
+      : cell_(/*readers=*/1, core::Item<std::uint64_t>{0, 0}, "shared_w") {}
+
+  void update(std::uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cell_.write(core::Item<std::uint64_t>{value, ++seq_});
+  }
+
+  core::Item<std::uint64_t> read() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cell_.read(0);
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t seq_ = 0;
+  registers::HazardCell<core::Item<std::uint64_t>> cell_;
+};
+
+// Native mutant: two threads share ONE reader slot of a two-slot cell,
+// again serialized by an analyzer-invisible mutex. Reader slots are
+// single-threaded by contract; the detector must report a slot-race.
+class LockedSlotShareMutant {
+ public:
+  LockedSlotShareMutant()
+      : cell_(/*readers=*/2, core::Item<std::uint64_t>{0, 0}, "shared_r") {}
+
+  void write(std::uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cell_.write(core::Item<std::uint64_t>{value, ++seq_});
+  }
+
+  // Every caller reads through slot 0 no matter which thread it is.
+  core::Item<std::uint64_t> read_slot0() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cell_.read(0);
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t seq_ = 0;
+  registers::HazardCell<core::Item<std::uint64_t>> cell_;
+};
+
+}  // namespace compreg::mutants

@@ -1,0 +1,246 @@
+// Tests for the vector-clock happens-before race detector: directly
+// driven clock semantics, native mutants whose memory is mutex-clean
+// but whose register discipline is broken, and clean stress runs over
+// shipped implementations.
+#include "analysis/race.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/afek_snapshot.h"
+#include "core/composite_register.h"
+#include "lin/workload.h"
+#include "mutants.h"
+#include "sched/access.h"
+#include "sched/schedule_point.h"
+#include "util/barrier.h"
+
+namespace compreg::analysis {
+namespace {
+
+sched::Access cell_access(std::uint64_t cell, sched::AccessKind kind,
+                          int slot = -1, int readers = 2,
+                          sched::Discipline disc = sched::Discipline::kSwmr) {
+  sched::Access a;
+  a.decl = sched::CellDecl{cell, "c", disc, readers};
+  a.kind = kind;
+  a.slot = slot;
+  return a;
+}
+
+// ---------------------------------------------------------------------
+// Clock semantics, driving on_access directly. Distinct proc ids map to
+// distinct logical threads.
+// ---------------------------------------------------------------------
+
+TEST(RaceDetector, UnorderedWritesToOneCellAreAWriteRace) {
+  RaceDetector det;
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), /*proc=*/0, 1);
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), /*proc=*/1, 2);
+  ASSERT_FALSE(det.clean());
+  const AnalysisReport report = det.report();
+  ASSERT_EQ(report.findings.size(), 1u);
+  const Finding& f = report.findings[0];
+  EXPECT_EQ(f.kind, "write-race");
+  EXPECT_EQ(f.cell, 1u);
+  EXPECT_EQ(f.proc_a, 0);
+  EXPECT_EQ(f.proc_b, 1);
+  EXPECT_GT(f.pos_a, 0u);
+  EXPECT_GT(f.pos_b, 0u);
+  // Both stack-tagged sites appear in the detail.
+  EXPECT_NE(f.detail.find("c.write[proc 0"), std::string::npos);
+  EXPECT_NE(f.detail.find("c.write[proc 1"), std::string::npos);
+}
+
+TEST(RaceDetector, WritesOrderedThroughACellAreNotARace) {
+  RaceDetector det;
+  // Proc 0 writes cell 1, then cell 2 (its release clock carries 0's
+  // history). Proc 1 reads cell 2 (acquire) and only then writes cell
+  // 1: ordered, no race.
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), 0, 1);
+  det.on_access(cell_access(2, sched::AccessKind::kWrite), 0, 2);
+  det.on_access(cell_access(2, sched::AccessKind::kRead, 0), 1, 3);
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), 1, 4);
+  EXPECT_TRUE(det.clean()) << det.report().text();
+}
+
+TEST(RaceDetector, ReadWriteConcurrencyIsAllowed) {
+  RaceDetector det;
+  // A reader racing a writer is exactly what an atomic register
+  // permits; only writer/writer and slot sharing are conflicts.
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), 0, 1);
+  det.on_access(cell_access(1, sched::AccessKind::kRead, 0), 1, 2);
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), 0, 3);
+  EXPECT_TRUE(det.clean());
+}
+
+TEST(RaceDetector, SlotSharedWithoutOrderIsASlotRace) {
+  RaceDetector det;
+  det.on_access(cell_access(1, sched::AccessKind::kRead, /*slot=*/0), 1, 1);
+  det.on_access(cell_access(1, sched::AccessKind::kRead, /*slot=*/0), 2, 2);
+  ASSERT_FALSE(det.clean());
+  const AnalysisReport report = det.report();
+  ASSERT_EQ(report.findings.size(), 1u);
+  const Finding& f = report.findings[0];
+  EXPECT_EQ(f.kind, "slot-race");
+  EXPECT_EQ(f.proc_a, 1);
+  EXPECT_EQ(f.proc_b, 2);
+}
+
+TEST(RaceDetector, DistinctSlotsDoNotConflict) {
+  RaceDetector det;
+  det.on_access(cell_access(1, sched::AccessKind::kRead, 0), 1, 1);
+  det.on_access(cell_access(1, sched::AccessKind::kRead, 1), 2, 2);
+  EXPECT_TRUE(det.clean());
+}
+
+TEST(RaceDetector, SlotHandoffThroughACellIsClean) {
+  RaceDetector det;
+  // Proc 1 reads slot 0, then writes cell 9; proc 2 reads cell 9
+  // (acquire: now ordered after everything proc 1 did) and reuses slot
+  // 0 — a legitimate handoff.
+  det.on_access(cell_access(1, sched::AccessKind::kRead, 0), 1, 1);
+  det.on_access(cell_access(9, sched::AccessKind::kWrite), 1, 2);
+  det.on_access(cell_access(9, sched::AccessKind::kRead, 1), 2, 3);
+  det.on_access(cell_access(1, sched::AccessKind::kRead, 0), 2, 4);
+  EXPECT_TRUE(det.clean()) << det.report().text();
+}
+
+TEST(RaceDetector, MrmwCellsAreExemptFromWriteRaces) {
+  RaceDetector det;
+  const auto w = cell_access(1, sched::AccessKind::kWrite, -1, 0,
+                             sched::Discipline::kMrmw);
+  det.on_access(w, 0, 1);
+  det.on_access(w, 1, 2);
+  EXPECT_TRUE(det.clean());
+}
+
+TEST(RaceDetector, ResetForgetsHistory) {
+  RaceDetector det;
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), 0, 1);
+  det.reset();
+  det.on_access(cell_access(1, sched::AccessKind::kWrite), 1, 1);
+  EXPECT_TRUE(det.clean());
+}
+
+// ---------------------------------------------------------------------
+// Native mutants: memory is mutex-serialized (TSan-clean), register
+// discipline is not — the analyzer must still see through it.
+// ---------------------------------------------------------------------
+
+TEST(NativeMutants, LockedWriteShareIsMultiWriterAndWriteRace) {
+  AnalysisSession session(/*detect_races=*/true);
+  mutants::LockedWriteShareMutant mutant;
+  {
+    sched::ScopedAccessObserver observe(&session);
+    SpinBarrier barrier(2);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&, p] {
+        sched::thread_context().proc_id = p;
+        barrier.arrive_and_wait();
+        for (int i = 0; i < 50; ++i) {
+          mutant.update(static_cast<std::uint64_t>(p * 1000 + i));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const AnalysisReport report = session.report();
+  ASSERT_FALSE(report.ok());
+  bool saw_multi_writer = false;
+  bool saw_write_race = false;
+  for (const Finding& f : report.findings) {
+    if (f.kind == "multi-writer") {
+      saw_multi_writer = true;
+      EXPECT_NE(f.cell, 0u);
+      EXPECT_EQ(f.owner, "shared_w");
+      EXPECT_NE(f.proc_a, f.proc_b);
+      EXPECT_GE(f.proc_a, 0);
+      EXPECT_GE(f.proc_b, 0);
+      EXPECT_GT(f.pos_a, 0u);
+      EXPECT_GT(f.pos_b, 0u);
+    }
+    if (f.kind == "write-race") {
+      saw_write_race = true;
+      EXPECT_NE(f.detail.find("shared_w.write[proc"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_multi_writer) << report.text();
+  EXPECT_TRUE(saw_write_race) << report.text();
+}
+
+TEST(NativeMutants, LockedSlotShareIsASlotRace) {
+  AnalysisSession session(/*detect_races=*/true);
+  mutants::LockedSlotShareMutant mutant;
+  {
+    sched::ScopedAccessObserver observe(&session);
+    SpinBarrier barrier(2);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&, p] {
+        sched::thread_context().proc_id = p;
+        barrier.arrive_and_wait();
+        for (int i = 0; i < 50; ++i) (void)mutant.read_slot0();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const AnalysisReport report = session.report();
+  ASSERT_FALSE(report.ok());
+  bool saw_slot_race = false;
+  for (const Finding& f : report.findings) {
+    if (f.kind != "slot-race") continue;
+    saw_slot_race = true;
+    EXPECT_EQ(f.owner, "shared_r");
+    EXPECT_NE(f.proc_a, f.proc_b);
+    EXPECT_NE(f.detail.find("shared_r.read[proc"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_slot_race) << report.text();
+}
+
+// ---------------------------------------------------------------------
+// Shipped implementations stay clean under native stress with the full
+// session (ownership + races) installed.
+// ---------------------------------------------------------------------
+
+TEST(ShippedImplementations, CompositeCleanUnderNativeStress) {
+  AnalysisSession session(/*detect_races=*/true);
+  core::CompositeRegister<std::uint64_t> snap(/*components=*/3,
+                                              /*num_readers=*/2, 0);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 300;
+  cfg.scans_per_reader = 300;
+  cfg.stress_permille = 120;
+  cfg.seed = 11;
+  {
+    sched::ScopedAccessObserver observe(&session);
+    lin::run_native_workload(snap, cfg);
+  }
+  const AnalysisReport report = session.report();
+  EXPECT_TRUE(report.ok()) << report.text();
+  EXPECT_GT(report.counters.accesses(), 0u);
+}
+
+TEST(ShippedImplementations, AfekCleanUnderNativeStress) {
+  AnalysisSession session(/*detect_races=*/true);
+  baselines::AfekSnapshot<std::uint64_t> snap(/*components=*/3,
+                                              /*num_readers=*/2, 0);
+  lin::WorkloadConfig cfg;
+  cfg.writes_per_writer = 300;
+  cfg.scans_per_reader = 300;
+  cfg.stress_permille = 120;
+  cfg.seed = 13;
+  {
+    sched::ScopedAccessObserver observe(&session);
+    lin::run_native_workload(snap, cfg);
+  }
+  const AnalysisReport report = session.report();
+  EXPECT_TRUE(report.ok()) << report.text();
+}
+
+}  // namespace
+}  // namespace compreg::analysis

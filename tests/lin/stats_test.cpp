@@ -113,6 +113,23 @@ TEST(StatsTest, StressedNativeWorkloadsAreActuallyConcurrent) {
   EXPECT_GT(s.contended_reads, 10u) << s.summary();
 }
 
+TEST(StatsTest, ConformanceCountersSummary) {
+  ConformanceCounters c;
+  c.cells = 8;
+  c.swmr_cells = 6;
+  c.swsr_cells = 1;
+  c.mrmw_cells = 1;
+  c.reads = 90;
+  c.writes = 10;
+  c.findings = 2;
+  EXPECT_EQ(c.accesses(), 100u);
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("8 cells"), std::string::npos) << s;
+  EXPECT_NE(s.find("6 swmr"), std::string::npos) << s;
+  EXPECT_NE(s.find("100 accesses"), std::string::npos) << s;
+  EXPECT_NE(s.find("2 findings"), std::string::npos) << s;
+}
+
 // Simulator workloads produce overlap regardless of host cores: the
 // random policy interleaves at every shared access.
 TEST(StatsTest, SimWorkloadsAreConcurrentByConstruction) {

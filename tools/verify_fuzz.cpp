@@ -15,10 +15,18 @@
 // or simulated (a "hang:" plan wedges the scheduler on purpose) — into
 // a graceful exit with a replayable artifact instead of a stuck CI job.
 //
+// With --conformance, every execution additionally runs under the
+// protocol-conformance analyzer (src/analysis): the SWMR ownership
+// checker plus, on native runs, the vector-clock race detector. Any
+// finding is treated exactly like a linearizability violation — the
+// report is printed, the artifact gains a parseable conformance dump,
+// and the exit code is 1.
+//
 // Usage:
-//   verify_fuzz [--impl anderson|afek|unbounded|doublecollect|fullstack|mw]
+//   verify_fuzz [--impl anderson|afek|unbounded|doublecollect|fullstack
+//                       |seqlock|mutex|mw]
 //               [--components N] [--readers N] [--iters N] [--seed N]
-//               [--ops N] [--native] [--witness] [--stats]
+//               [--ops N] [--native] [--witness] [--stats] [--conformance]
 //               [--chaos] [--crash-prob PERMILLE] [--stall PERMILLE]
 //               [--plan SPEC] [--out FILE] [--watchdog SECONDS]
 //
@@ -34,12 +42,16 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 
+#include "analysis/race.h"
 #include "baselines/afek_snapshot.h"
 #include "baselines/double_collect.h"
+#include "baselines/mutex_snapshot.h"
+#include "baselines/seqlock_snapshot.h"
 #include "baselines/unbounded_helping.h"
 #include "core/composite_register.h"
 #include "core/multi_writer.h"
@@ -85,6 +97,14 @@ std::unique_ptr<Snapshot<std::uint64_t>> make_impl(const std::string& name,
     return std::make_unique<
         compreg::baselines::DoubleCollectSnapshot<std::uint64_t>>(c, r, 0);
   }
+  if (name == "seqlock") {
+    return std::make_unique<
+        compreg::baselines::SeqlockSnapshot<std::uint64_t>>(c, r, 0);
+  }
+  if (name == "mutex") {
+    return std::make_unique<compreg::baselines::MutexSnapshot<std::uint64_t>>(
+        c, r, 0);
+  }
   return nullptr;
 }
 
@@ -98,7 +118,8 @@ struct Artifact {
 void write_artifact(const Artifact& artifact, const char* kind,
                     std::uint64_t seed, const std::string& plan,
                     const std::string& detail,
-                    const compreg::lin::History* history) {
+                    const compreg::lin::History* history,
+                    const std::string& conformance_dump = std::string()) {
   std::ofstream out(artifact.path);
   if (!out) {
     std::fprintf(stderr, "cannot write artifact to %s\n",
@@ -111,6 +132,9 @@ void write_artifact(const Artifact& artifact, const char* kind,
   if (!plan.empty()) out << "# plan " << plan << "\n";
   if (!detail.empty()) out << "# " << detail << "\n";
   if (history != nullptr) compreg::lin::dump_history(*history, out);
+  if (!conformance_dump.empty()) {
+    out << "# conformance report follows\n" << conformance_dump;
+  }
   std::fprintf(stderr, "artifact written to %s\n", artifact.path.c_str());
 }
 
@@ -172,6 +196,7 @@ int main(int argc, char** argv) {
   bool native = false;
   bool witness = false;
   bool stats = false;
+  bool conformance = false;
   bool chaos = false;
   long crash_permille = -1;  // -1 = not set
   long stall_permille = -1;
@@ -205,6 +230,8 @@ int main(int argc, char** argv) {
       witness = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       stats = true;
+    } else if (!std::strcmp(argv[i], "--conformance")) {
+      conformance = true;
     } else if (!std::strcmp(argv[i], "--chaos")) {
       chaos = true;
     } else if (!std::strcmp(argv[i], "--crash-prob")) {
@@ -260,6 +287,7 @@ int main(int argc, char** argv) {
       cfg << " crash-prob=" << crash_permille << " stall=" << stall_permille;
       if (fixed_plan) cfg << " plan=" << fixed_plan->to_string();
     }
+    if (conformance) cfg << " +conformance";
     artifact.config_line = cfg.str();
   }
   std::printf("verify_fuzz: %s%s\n", artifact.config_line.c_str(),
@@ -270,12 +298,26 @@ int main(int argc, char** argv) {
   Watchdog watchdog(watchdog_sec, artifact, progress, current_seed,
                     plan_text);
 
+  // The ownership checker runs on every mode; the happens-before race
+  // detector only on free-running threads (the simulator serializes
+  // execution, so racing there is what the ownership rules cover).
+  compreg::analysis::AnalysisSession session(
+      /*detect_races=*/native || impl == "mw");
+  compreg::lin::ConformanceCounters conf_total;
+
   std::uint64_t pending_ops_seen = 0;
   for (std::uint64_t i = 0; i < iters; ++i) {
     const std::uint64_t it_seed = seed + i;
     current_seed.store(it_seed);
     compreg::lin::History h;
     compreg::fault::FaultPlan plan;
+    // Installed after construction (registers label only their
+    // operational accesses) and removed before report() below.
+    std::optional<compreg::sched::ScopedAccessObserver> observe;
+    if (conformance) {
+      session.reset();
+      observe.emplace(&session);
+    }
     if (impl == "mw") {
       compreg::core::MultiWriterSnapshot<std::uint64_t> snap(
           components, /*processes=*/3, readers, 0);
@@ -327,6 +369,33 @@ int main(int argc, char** argv) {
         h = compreg::lin::run_sim_workload(*snap, policy, cfg);
       }
     }
+    observe.reset();
+    if (conformance) {
+      const compreg::analysis::AnalysisReport creport = session.report();
+      const compreg::lin::ConformanceCounters& cc = creport.counters;
+      conf_total.cells += cc.cells;
+      conf_total.swmr_cells += cc.swmr_cells;
+      conf_total.swsr_cells += cc.swsr_cells;
+      conf_total.mrmw_cells += cc.mrmw_cells;
+      conf_total.reads += cc.reads;
+      conf_total.writes += cc.writes;
+      conf_total.findings += creport.findings.size();
+      if (stats && i == 0) {
+        std::printf("  first conformance: %s\n", cc.summary().c_str());
+      }
+      if (!creport.ok()) {
+        std::printf("CONFORMANCE FINDINGS at seed %llu:\n%s",
+                    static_cast<unsigned long long>(it_seed),
+                    creport.text().c_str());
+        if (!plan.empty()) {
+          std::printf("fault plan: %s\n", plan.to_string().c_str());
+        }
+        write_artifact(artifact, "conformance findings", it_seed,
+                       plan.to_string(), creport.findings.front().to_string(),
+                       &h, creport.dump());
+        return kExitViolation;
+      }
+    }
     const compreg::lin::HistoryStats hs = compreg::lin::compute_stats(h);
     pending_ops_seen += hs.pending_writes + hs.pending_reads;
     if (stats && i == 0) {
@@ -374,6 +443,9 @@ int main(int argc, char** argv) {
   } else {
     std::printf("all %llu executions linearizable\n",
                 static_cast<unsigned long long>(iters));
+  }
+  if (conformance) {
+    std::printf("conformance totals: %s\n", conf_total.summary().c_str());
   }
   return 0;
 }
