@@ -3,37 +3,11 @@
 #include <algorithm>
 #include <sstream>
 
+#include "fault/plan_parse.h"
+
 namespace compreg::fault {
-namespace {
 
-// Parses "<int>@<u64>" or "<int>@<u64>+<u64>"; returns false on junk.
-bool parse_spec_body(const std::string& body, int& proc, std::uint64_t& a,
-                     std::uint64_t* b) {
-  const std::size_t at = body.find('@');
-  if (at == std::string::npos || at == 0) return false;
-  try {
-    std::size_t used = 0;
-    proc = std::stoi(body.substr(0, at), &used);
-    if (used != at || proc < 0) return false;
-    const std::string rest = body.substr(at + 1);
-    const std::size_t plus = rest.find('+');
-    if (b == nullptr) {
-      if (plus != std::string::npos) return false;
-      a = std::stoull(rest, &used);
-      return used == rest.size();
-    }
-    if (plus == std::string::npos || plus == 0) return false;
-    a = std::stoull(rest.substr(0, plus), &used);
-    if (used != plus) return false;
-    const std::string len = rest.substr(plus + 1);
-    *b = std::stoull(len, &used);
-    return used == len.size() && !len.empty();
-  } catch (...) {
-    return false;
-  }
-}
-
-}  // namespace
+using plan_parse::parse_spec_body;
 
 std::vector<int> FaultPlan::doomed() const {
   std::vector<int> out;
@@ -67,17 +41,10 @@ std::string FaultPlan::to_string() const {
 }
 
 std::optional<FaultPlan> FaultPlan::parse(const std::string& text) {
-  // Strict: no empty input, no empty specs (",," or trailing comma).
-  if (text.empty() || text.back() == ',') return std::nullopt;
+  const auto specs = plan_parse::split_specs(text);
+  if (!specs) return std::nullopt;
   FaultPlan plan;
-  std::istringstream is(text);
-  std::string spec;
-  while (std::getline(is, spec, ',')) {
-    if (spec.empty()) return std::nullopt;
-    const std::size_t colon = spec.find(':');
-    if (colon == std::string::npos) return std::nullopt;
-    const std::string kind = spec.substr(0, colon);
-    const std::string body = spec.substr(colon + 1);
+  for (const auto& [kind, body] : *specs) {
     int proc = 0;
     std::uint64_t a = 0;
     std::uint64_t b = 0;

@@ -1,0 +1,14 @@
+#include "net/net_cell.h"
+
+namespace compreg::net {
+namespace {
+
+NetFabric* g_current_fabric = nullptr;
+
+}  // namespace
+
+NetFabric* NetFabric::current() { return g_current_fabric; }
+
+void NetFabric::install(NetFabric* fabric) { g_current_fabric = fabric; }
+
+}  // namespace compreg::net

@@ -1,0 +1,163 @@
+#include "net/net_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fault/plan_parse.h"
+
+namespace compreg::net {
+namespace {
+
+using fault::plan_parse::parse_int;
+using fault::plan_parse::parse_spec_body;
+using fault::plan_parse::parse_u64;
+
+// Permille fields are probabilities; anything over 1000 is junk.
+bool parse_permille(const std::string& text, unsigned& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(text, v) || v > 1000) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+// "<step>+<len>@<node>[.<node>]*"
+bool parse_partition(const std::string& body, PartitionSpec& out) {
+  const std::size_t at = body.find('@');
+  if (at == std::string::npos || at == 0) return false;
+  const std::string window = body.substr(0, at);
+  const std::size_t plus = window.find('+');
+  if (plus == std::string::npos || plus == 0) return false;
+  if (!parse_u64(window.substr(0, plus), out.at_step) ||
+      !parse_u64(window.substr(plus + 1), out.duration)) {
+    return false;
+  }
+  std::istringstream nodes(body.substr(at + 1));
+  std::string tok;
+  while (std::getline(nodes, tok, '.')) {
+    int node = 0;
+    if (!parse_int(tok, node)) return false;
+    out.group.push_back(node);
+  }
+  if (out.group.empty()) return false;
+  std::sort(out.group.begin(), out.group.end());
+  out.group.erase(std::unique(out.group.begin(), out.group.end()),
+                  out.group.end());
+  return true;
+}
+
+}  // namespace
+
+std::string NetFaultPlan::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  if (drop_permille != 0) {
+    sep();
+    os << "drop:" << drop_permille;
+  }
+  if (delay.permille != 0) {
+    sep();
+    os << "delay:" << delay.permille << '+' << delay.max_steps;
+  }
+  if (dup_permille != 0) {
+    sep();
+    os << "dup:" << dup_permille;
+  }
+  if (reorder_permille != 0) {
+    sep();
+    os << "reorder:" << reorder_permille;
+  }
+  for (const PartitionSpec& p : partitions) {
+    sep();
+    os << "partition:" << p.at_step << '+' << p.duration << '@';
+    for (std::size_t i = 0; i < p.group.size(); ++i) {
+      if (i != 0) os << '.';
+      os << p.group[i];
+    }
+  }
+  for (const ReplicaCrashSpec& c : crashes) {
+    sep();
+    os << "crash:" << c.node << '@' << c.after_msgs;
+  }
+  return os.str();
+}
+
+std::optional<NetFaultPlan> NetFaultPlan::parse(const std::string& text) {
+  const auto specs = fault::plan_parse::split_specs(text);
+  if (!specs) return std::nullopt;
+  NetFaultPlan plan;
+  for (const auto& [kind, body] : *specs) {
+    if (kind == "drop") {
+      if (!parse_permille(body, plan.drop_permille)) return std::nullopt;
+    } else if (kind == "delay") {
+      const std::size_t plus = body.find('+');
+      if (plus == std::string::npos || plus == 0) return std::nullopt;
+      if (!parse_permille(body.substr(0, plus), plan.delay.permille) ||
+          !parse_u64(body.substr(plus + 1), plan.delay.max_steps) ||
+          plan.delay.max_steps == 0) {
+        return std::nullopt;
+      }
+    } else if (kind == "dup") {
+      if (!parse_permille(body, plan.dup_permille)) return std::nullopt;
+    } else if (kind == "reorder") {
+      if (!parse_permille(body, plan.reorder_permille)) return std::nullopt;
+    } else if (kind == "partition") {
+      PartitionSpec p;
+      if (!parse_partition(body, p)) return std::nullopt;
+      plan.partitions.push_back(std::move(p));
+    } else if (kind == "crash") {
+      int node = 0;
+      std::uint64_t msgs = 0;
+      if (!parse_spec_body(body, node, msgs, nullptr)) return std::nullopt;
+      plan.crashes.push_back(ReplicaCrashSpec{node, msgs});
+    } else {
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+NetFaultPlan NetFaultPlan::random(Rng& rng, int replicas,
+                                  std::uint64_t est_steps,
+                                  unsigned loss_permille,
+                                  unsigned partition_permille,
+                                  unsigned crash_permille) {
+  NetFaultPlan plan;
+  if (est_steps == 0) est_steps = 1;
+  plan.drop_permille = loss_permille;
+  if (rng.chance(1, 2)) {
+    plan.delay = DelaySpec{200, 1 + rng.below(6)};
+  }
+  if (rng.chance(1, 3)) plan.dup_permille = 60;
+  if (rng.chance(1, 3)) plan.reorder_permille = 120;
+  if (partition_permille != 0 && replicas > 1 &&
+      rng.chance(partition_permille, 1000)) {
+    PartitionSpec p;
+    p.at_step = rng.below(est_steps);
+    p.duration = 1 + rng.below(est_steps / 2 + 1);
+    const std::uint64_t size =
+        1 + rng.below(static_cast<std::uint64_t>(replicas - 1));
+    // A random proper subset: shuffle-free reservoir over node ids.
+    std::vector<int> all(static_cast<std::size_t>(replicas));
+    for (int i = 0; i < replicas; ++i) all[static_cast<std::size_t>(i)] = i;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      const std::uint64_t j = i + rng.below(all.size() - i);
+      std::swap(all[i], all[j]);
+    }
+    p.group.assign(all.begin(),
+                   all.begin() + static_cast<std::ptrdiff_t>(size));
+    std::sort(p.group.begin(), p.group.end());
+    plan.partitions.push_back(std::move(p));
+  }
+  for (int n = 0; n < replicas; ++n) {
+    if (crash_permille != 0 && rng.chance(crash_permille, 1000)) {
+      plan.crashes.push_back(ReplicaCrashSpec{n, rng.below(est_steps)});
+    }
+  }
+  return plan;
+}
+
+}  // namespace compreg::net

@@ -1,0 +1,91 @@
+// Network fault plans: declarative message-level and replica-level
+// failure schedules for the simulated network (SimNet).
+//
+// Where src/fault/fault_plan.h describes *process* failures in terms of
+// schedule points, a NetFaultPlan describes what the *network* does to
+// messages and replicas, in terms of the network's own deterministic
+// clock (one tick per delivery step / poll):
+//
+//   drop p‰          each message is lost with probability p/1000;
+//   delay p‰ + m     each message is delayed by 1..m extra network
+//                    steps with probability p/1000;
+//   dup p‰           each message is delivered twice with probability
+//                    p/1000 (protocol handlers must be idempotent);
+//   reorder p‰       each message is pushed 1..3 steps behind later
+//                    traffic with probability p/1000;
+//   partition s+l @ G  during network steps [s, s+l), messages between
+//                    the node group G and everything outside it are
+//                    dropped; messages inside G (or entirely outside)
+//                    still flow — a classic network partition that
+//                    heals after l steps (l huge = permanent);
+//   crash n @ m      replica node n processes exactly m messages and
+//                    then crash-stops: every later delivery to it is
+//                    dropped (m = 0: dead from the start).
+//
+// All probabilistic choices are drawn from the SimNet's own seeded RNG,
+// so (net seed, plan, schedule) replays a scenario exactly.
+//
+// Text grammar (one spec per element, comma separated; later scalar
+// specs of the same kind override earlier ones):
+//   drop:<permille> | delay:<permille>+<maxsteps> | dup:<permille>
+//   | reorder:<permille> | partition:<step>+<len>@<node>[.<node>]*
+//   | crash:<node>@<msgs>
+// e.g. "drop:100,delay:200+6,partition:40+200@0.1,crash:2@25".
+// parse() and to_string() round-trip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace compreg::net {
+
+struct DelaySpec {
+  unsigned permille = 0;
+  std::uint64_t max_steps = 0;  // extra delay drawn uniform in [1, max]
+};
+
+struct PartitionSpec {
+  std::uint64_t at_step = 0;   // first network step of the partition
+  std::uint64_t duration = 0;  // steps until it heals
+  std::vector<int> group;      // isolated node group (sorted, unique)
+};
+
+struct ReplicaCrashSpec {
+  int node = 0;
+  std::uint64_t after_msgs = 0;  // messages processed before the crash
+};
+
+struct NetFaultPlan {
+  unsigned drop_permille = 0;
+  DelaySpec delay;
+  unsigned dup_permille = 0;
+  unsigned reorder_permille = 0;
+  std::vector<PartitionSpec> partitions;
+  std::vector<ReplicaCrashSpec> crashes;
+
+  bool empty() const {
+    return drop_permille == 0 && delay.permille == 0 && dup_permille == 0 &&
+           reorder_permille == 0 && partitions.empty() && crashes.empty();
+  }
+
+  std::string to_string() const;
+  static std::optional<NetFaultPlan> parse(const std::string& text);
+
+  // Random single-iteration chaos plan for `replicas` replica nodes:
+  // message loss fixed at `loss_permille`, light random delay/dup/
+  // reorder, one partition window with probability partition_permille/
+  // 1000 (random nonempty proper subgroup of the replicas — minority
+  // groups degrade latency, majority groups cost quorum), and each
+  // replica crash-stopping with probability crash_permille/1000 after a
+  // uniform number of processed messages. Deterministic in `rng`.
+  static NetFaultPlan random(Rng& rng, int replicas, std::uint64_t est_steps,
+                             unsigned loss_permille,
+                             unsigned partition_permille,
+                             unsigned crash_permille);
+};
+
+}  // namespace compreg::net

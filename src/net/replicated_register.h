@@ -1,0 +1,296 @@
+// ReplicatedRegister: an ABD-style quorum-replicated MRSW atomic
+// register over SimNet — the networked substrate for the paper's
+// construction.
+//
+// The protocol is the single-writer half of Attiya–Bar-Noy–Dolev,
+// following the message-passing register constructions surveyed by
+// Imbs–Mostéfaoui–Perrin–Raynal: 2f+1 replica nodes each hold a
+// (timestamp, value) pair; the writer tags each value with a local
+// monotonically increasing timestamp and broadcasts it, completing once
+// a majority (f+1) acknowledges; a reader queries all replicas, waits
+// for a majority of (ts, value) replies, adopts the maximum timestamp,
+// and — unless every reply already agreed on that timestamp — performs
+// a write-back phase to a majority before returning, which is what
+// makes concurrent readers atomic rather than merely regular. Replica
+// handlers are idempotent (adopt iff ts is newer), so duplicated or
+// reordered messages are harmless.
+//
+// The client-side robustness layer makes every phase bounded: each
+// attempt broadcasts to all replicas and polls the network for at most
+// `timeout_polls` steps; failed attempts re-send after a bounded
+// exponential backoff (base << attempt, capped, plus deterministic
+// jitter from util/rng) up to `max_attempts` times, after which the
+// operation degrades to an explicit Unavailable outcome — never a hang,
+// and never a non-linearizable read (a read only returns after its
+// chosen value provably rests on a majority). try_read/try_write
+// surface that outcome as a value; read/write (the MrswCell interface,
+// which has no failure channel) throw UnavailableError, which derives
+// from sched::ProcessParked so the crash-aware workload drivers and
+// checkers treat a quorum-starved process exactly like a crash-stopped
+// one: its interrupted operation is recorded pending — it may or may
+// not take effect, but cannot un-happen.
+//
+// SIMULATOR-ONLY for concurrent use (the replica state and SimNet
+// queue are plain fields serialized by the lockstep); single-threaded
+// use works anywhere, which the unit tests rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/sim_net.h"
+#include "sched/access.h"
+#include "sched/schedule_point.h"
+#include "util/assert.h"
+#include "util/op_counter.h"
+#include "util/rng.h"
+#include "util/space_accounting.h"
+
+namespace compreg::net {
+
+// Thrown by read()/write() when a quorum phase exhausts its retry
+// budget. Deriving from ProcessParked means an unhandled Unavailable
+// halts the issuing virtual process like a crash-stop — the graceful
+// degradation contract documented in docs/fault_model.md.
+struct UnavailableError : sched::ProcessParked {
+  explicit UnavailableError(const char* op_name) : op(op_name) {}
+  const char* op;  // "write", "read-query", or "read-writeback"
+};
+
+// Client-side robustness knobs. All quantities are network polls
+// (= schedule points while waiting), so every bound is deterministic.
+struct NetConfig {
+  int f = 1;                    // crash tolerance; replicas = 2f + 1
+  unsigned timeout_polls = 24;  // per-attempt deadline
+  unsigned max_attempts = 5;    // per quorum phase (first try included)
+  unsigned backoff_base = 2;    // polls; doubles per failed attempt
+  unsigned backoff_cap = 32;    // upper bound on one backoff window
+  bool writeback_skip_uniform = true;  // skip phase 2 on agreeing quorum
+  std::uint64_t jitter_seed = 0x9e7c0ffeeull;
+
+  int replicas() const { return 2 * f + 1; }
+  int quorum() const { return f + 1; }
+};
+
+template <typename T>
+class ReplicatedRegister {
+ public:
+  // `readers` reader slots (one concurrent reader per slot, matching
+  // the MRSW contract); the writer is a separate implicit endpoint.
+  ReplicatedRegister(SimNet& net, const NetConfig& cfg, int readers,
+                     T initial, const char* label = "net",
+                     std::uint64_t payload_bits = sizeof(T) * 8)
+      : net_(net),
+        cfg_(cfg),
+        access_(label, sched::Discipline::kSwmr, readers) {
+    COMPREG_CHECK(cfg.f >= 1, "need f >= 1 (2f+1 replicas)");
+    COMPREG_CHECK(readers >= 1, "need at least one reader slot");
+    COMPREG_CHECK(net.replicas() == cfg.replicas(),
+                  "SimNet has %d replica nodes, NetConfig wants %d",
+                  net.replicas(), cfg.replicas());
+    replicas_.assign(static_cast<std::size_t>(cfg.replicas()),
+                     Replica{0, initial});
+    writer_ = make_endpoint();
+    for (int j = 0; j < readers; ++j) readers_.push_back(make_endpoint());
+    // One logical MRSW register; physically 2f+1 replicated copies.
+    account_register(label, payload_bits, readers,
+                     static_cast<std::uint64_t>(cfg.replicas()));
+  }
+
+  ReplicatedRegister(const ReplicatedRegister&) = delete;
+  ReplicatedRegister& operator=(const ReplicatedRegister&) = delete;
+
+  // MrswCell surface: throws UnavailableError on quorum loss.
+  void write(const T& value) {
+    if (!try_write(value)) throw UnavailableError("write");
+  }
+
+  T read(int reader_id) {
+    std::optional<T> out = try_read(reader_id);
+    if (!out) throw UnavailableError("read");
+    return *std::move(out);
+  }
+
+  // Graceful-degradation surface: false/nullopt means the retry budget
+  // ran out without reaching a majority (Unavailable). A failed write
+  // may still take effect later — its timestamped value can survive on
+  // a minority and be adopted by a future read's write-back — but it
+  // can never be un-written, exactly like a crash-interrupted write.
+  bool try_write(const T& value) {
+    sched::observe(access_.write());
+    ++op_counters().reg_writes;
+    ++write_ts_;
+    std::vector<Reply> acks;
+    const std::uint64_t ts = write_ts_;
+    return quorum_phase(
+        writer_,
+        [&](int r, std::uint64_t op) { send_store(writer_, r, op, ts, value); },
+        acks);
+  }
+
+  std::optional<T> try_read(int reader_id) {
+    COMPREG_DCHECK(reader_id >= 0 &&
+                   reader_id < static_cast<int>(readers_.size()));
+    sched::observe(access_.read(reader_id));
+    ++op_counters().reg_reads;
+    Endpoint& ep = readers_[static_cast<std::size_t>(reader_id)];
+    std::vector<Reply> replies;
+    if (!quorum_phase(
+            ep, [&](int r, std::uint64_t op) { send_query(ep, r, op); },
+            replies)) {
+      return std::nullopt;
+    }
+    const Reply* best = &replies.front();
+    bool uniform = true;
+    for (const Reply& reply : replies) {
+      if (reply.ts != best->ts) uniform = false;
+      if (reply.ts > best->ts) best = &reply;
+    }
+    const std::uint64_t ts = best->ts;
+    T value = best->val;
+    if (cfg_.writeback_skip_uniform && uniform) {
+      // Every quorum member already agrees on ts, so any later quorum
+      // intersects this one at ts or newer — phase 2 would be a no-op.
+      ++net_.stats().client_writeback_skips;
+      return value;
+    }
+    std::vector<Reply> acks;
+    if (!quorum_phase(
+            ep,
+            [&](int r, std::uint64_t op) { send_store(ep, r, op, ts, value); },
+            acks)) {
+      return std::nullopt;
+    }
+    ++net_.stats().client_writebacks;
+    return value;
+  }
+
+  // Direct replica inspection, for tests and benches.
+  std::uint64_t replica_ts(int r) const {
+    return replicas_[static_cast<std::size_t>(r)].ts;
+  }
+  const T& replica_val(int r) const {
+    return replicas_[static_cast<std::size_t>(r)].val;
+  }
+  std::uint64_t write_ts() const { return write_ts_; }
+
+ private:
+  struct Replica {
+    std::uint64_t ts = 0;
+    T val;
+  };
+  struct Reply {
+    int replica = -1;
+    std::uint64_t op = 0;
+    std::uint64_t ts = 0;
+    T val;
+  };
+  // One client role (the writer, or one reader slot): a network node id
+  // plus its in-flight-operation bookkeeping. Endpoints are stable in
+  // memory (deque) because delivery closures capture references.
+  struct Endpoint {
+    int node = -1;
+    std::uint64_t op_seq = 0;
+    std::vector<Reply> inbox;
+    Rng jitter{0};
+  };
+
+  Endpoint make_endpoint() {
+    Endpoint ep;
+    ep.node = net_.new_client_node();
+    ep.jitter.reseed(cfg_.jitter_seed ^
+                     (static_cast<std::uint64_t>(ep.node) * 0x9e3779b9ull));
+    return ep;
+  }
+
+  // STORE(ts, value): adopt-if-newer, always acknowledge the requested
+  // timestamp. Serves both writer broadcasts and reader write-backs.
+  void send_store(Endpoint& ep, int r, std::uint64_t op, std::uint64_t ts,
+                  const T& value) {
+    net_.send(ep.node, r, [this, &ep, r, op, ts, value] {
+      Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (ts > rep.ts) {
+        rep.ts = ts;
+        rep.val = value;
+      }
+      net_.send(r, ep.node,
+                [&ep, r, op, ts] { ep.inbox.push_back(Reply{r, op, ts, T{}}); });
+    });
+  }
+
+  // QUERY: reply with the replica's current (ts, value).
+  void send_query(Endpoint& ep, int r, std::uint64_t op) {
+    net_.send(ep.node, r, [this, &ep, r, op] {
+      const Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      const std::uint64_t ts = rep.ts;
+      const T val = rep.val;
+      net_.send(r, ep.node, [&ep, r, op, ts, val] {
+        ep.inbox.push_back(Reply{r, op, ts, val});
+      });
+    });
+  }
+
+  // Collects >= quorum distinct-replica replies for a fresh operation
+  // sequence number, retrying with bounded exponential backoff. Returns
+  // false (Unavailable) once the budget is spent.
+  bool quorum_phase(Endpoint& ep,
+                    const std::function<void(int, std::uint64_t)>& send_req,
+                    std::vector<Reply>& out) {
+    ++net_.stats().client_phases;
+    ep.inbox.clear();  // replies to earlier operations are stale
+    const std::uint64_t op = ++ep.op_seq;
+    const int n = cfg_.replicas();
+    for (unsigned attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+      if (attempt > 0) ++net_.stats().client_retries;
+      for (int r = 0; r < n; ++r) send_req(r, op);
+      for (unsigned i = 0; i < cfg_.timeout_polls; ++i) {
+        net_.poll();
+        if (collect(ep, op, out)) return true;
+      }
+      if (attempt + 1 == cfg_.max_attempts) break;
+      // Bounded exponential backoff with deterministic jitter. Backoff
+      // polls still drive the network, so a late quorum short-circuits.
+      std::uint64_t window = std::min<std::uint64_t>(
+          cfg_.backoff_cap, static_cast<std::uint64_t>(cfg_.backoff_base)
+                                << attempt);
+      window += ep.jitter.below(window / 2 + 1);
+      for (std::uint64_t i = 0; i < window; ++i) {
+        ++net_.stats().client_backoff_polls;
+        net_.poll();
+        if (collect(ep, op, out)) return true;
+      }
+    }
+    ++net_.stats().client_unavailable;
+    return false;
+  }
+
+  // First reply per distinct replica for operation `op`; true once a
+  // quorum of replicas has answered.
+  bool collect(const Endpoint& ep, std::uint64_t op,
+               std::vector<Reply>& out) const {
+    out.clear();
+    for (const Reply& reply : ep.inbox) {
+      if (reply.op != op) continue;
+      const bool seen =
+          std::any_of(out.begin(), out.end(), [&](const Reply& have) {
+            return have.replica == reply.replica;
+          });
+      if (!seen) out.push_back(reply);
+    }
+    return static_cast<int>(out.size()) >= cfg_.quorum();
+  }
+
+  SimNet& net_;
+  NetConfig cfg_;
+  sched::AccessLabel access_;  // model-level SWMR identity of this cell
+  std::vector<Replica> replicas_;
+  Endpoint writer_;
+  std::deque<Endpoint> readers_;
+  std::uint64_t write_ts_ = 0;
+};
+
+}  // namespace compreg::net

@@ -1,0 +1,123 @@
+#include "net/sim_net.h"
+
+#include <algorithm>
+
+#include "sched/schedule_point.h"
+#include "util/assert.h"
+
+namespace compreg::net {
+
+SimNet::SimNet(int replicas, NetFaultPlan plan, std::uint64_t seed)
+    : replicas_(replicas),
+      plan_(std::move(plan)),
+      rng_(seed),
+      next_client_(replicas),
+      processed_(static_cast<std::size_t>(replicas), 0),
+      crash_limit_(static_cast<std::size_t>(replicas)),
+      // Many processes send and poll, so the network's schedule points
+      // are declared kMrmw: the conformance analyzer tracks them (they
+      // position network events in the schedule) without flagging them
+      // — the SWMR discipline lives one level up, at the replicated
+      // register they transport.
+      send_access_("net.send", sched::Discipline::kMrmw, /*readers=*/0),
+      poll_access_("net.poll", sched::Discipline::kMrmw, /*readers=*/0) {
+  COMPREG_CHECK(replicas >= 1, "SimNet needs at least one replica");
+  for (const ReplicaCrashSpec& c : plan_.crashes) {
+    if (c.node < 0 || c.node >= replicas) continue;  // tolerated: no-op
+    auto& limit = crash_limit_[static_cast<std::size_t>(c.node)];
+    limit = limit ? std::min(*limit, c.after_msgs) : c.after_msgs;
+  }
+}
+
+bool SimNet::replica_crashed(int node) const {
+  if (node < 0 || node >= replicas_) return false;
+  const auto& limit = crash_limit_[static_cast<std::size_t>(node)];
+  return limit && processed_[static_cast<std::size_t>(node)] >= *limit;
+}
+
+std::uint64_t SimNet::processed(int node) const {
+  if (node < 0 || node >= replicas_) return 0;
+  return processed_[static_cast<std::size_t>(node)];
+}
+
+bool SimNet::partition_blocks(int src, int dst) const {
+  for (const PartitionSpec& p : plan_.partitions) {
+    if (now_ < p.at_step || now_ >= p.at_step + p.duration) continue;
+    const bool src_in =
+        std::binary_search(p.group.begin(), p.group.end(), src);
+    const bool dst_in =
+        std::binary_search(p.group.begin(), p.group.end(), dst);
+    if (src_in != dst_in) return true;
+  }
+  return false;
+}
+
+void SimNet::send(int src, int dst, std::function<void()> deliver) {
+  // A reply sent from inside a delivery closure is part of the
+  // triggering poll's network step; a client-side send is its own
+  // labeled schedule point.
+  if (!in_delivery_) sched::point(send_access_.write());
+  ++stats_.sent;
+  if (plan_.drop_permille != 0 && rng_.chance(plan_.drop_permille, 1000)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  Envelope env;
+  env.at = now_ + 1;
+  env.src = src;
+  env.dst = dst;
+  if (plan_.delay.permille != 0 &&
+      rng_.chance(plan_.delay.permille, 1000)) {
+    env.at += 1 + rng_.below(plan_.delay.max_steps);
+    ++stats_.delayed;
+  }
+  if (plan_.reorder_permille != 0 &&
+      rng_.chance(plan_.reorder_permille, 1000)) {
+    env.at += 1 + rng_.below(3);
+    ++stats_.reordered;
+  }
+  const bool dup =
+      plan_.dup_permille != 0 && rng_.chance(plan_.dup_permille, 1000);
+  if (dup) {
+    Envelope copy = env;
+    copy.at += 1 + rng_.below(2);
+    copy.seq = next_seq_++;
+    copy.deliver = deliver;
+    queue_.push(std::move(copy));
+    ++stats_.duplicated;
+  }
+  env.seq = next_seq_++;
+  env.deliver = std::move(deliver);
+  queue_.push(std::move(env));
+}
+
+void SimNet::deliver_one(Envelope env) {
+  if (partition_blocks(env.src, env.dst)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (replica_crashed(env.dst)) {
+    ++stats_.dropped_crash;
+    return;
+  }
+  if (env.dst >= 0 && env.dst < replicas_) {
+    ++processed_[static_cast<std::size_t>(env.dst)];
+  }
+  ++stats_.delivered;
+  in_delivery_ = true;
+  env.deliver();
+  in_delivery_ = false;
+}
+
+void SimNet::poll() {
+  sched::point(poll_access_.read());
+  ++now_;
+  ++stats_.polls;
+  while (!queue_.empty() && queue_.top().at <= now_) {
+    Envelope env = queue_.top();  // top() is const — copy, then pop
+    queue_.pop();
+    deliver_one(std::move(env));
+  }
+}
+
+}  // namespace compreg::net

@@ -9,6 +9,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <optional>
 
 namespace compreg::registers {
 
@@ -17,5 +18,22 @@ concept MrswCell = requires(CellT cell, const T& value, int reader_id) {
   { cell.read(reader_id) } -> std::convertible_to<T>;
   { cell.write(value) };
 } && !std::copyable<CellT>;  // registers are places, not values
+
+// An MRSW cell whose operations can fail-fast instead of completing:
+// backends over unreliable substrates (the quorum-replicated network
+// register) expose try_read/try_write that degrade to an explicit
+// Unavailable outcome (nullopt/false) when the substrate cannot serve a
+// linearizable result within the backend's bounded retry budget. The
+// plain read/write surface of such cells reports the same outcome by
+// throwing (see net::UnavailableError): the construction itself stays
+// oblivious — per the Atomicity Restriction it only ever sees MRSW
+// register operations, completed or halted.
+template <typename CellT, typename T>
+concept FallibleMrswCell =
+    MrswCell<CellT, T> &&
+    requires(CellT cell, const T& value, int reader_id) {
+      { cell.try_read(reader_id) } -> std::same_as<std::optional<T>>;
+      { cell.try_write(value) } -> std::same_as<bool>;
+    };
 
 }  // namespace compreg::registers

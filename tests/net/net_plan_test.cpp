@@ -1,0 +1,138 @@
+// NetFaultPlan grammar: parse/to_string round-trip, rejection of junk,
+// and determinism of the random chaos-plan generator.
+#include "net/net_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace compreg::net {
+namespace {
+
+TEST(NetPlanTest, EmptyPlan) {
+  NetFaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.to_string(), "");
+}
+
+TEST(NetPlanTest, ParseSingleSpecs) {
+  auto drop = NetFaultPlan::parse("drop:100");
+  ASSERT_TRUE(drop.has_value());
+  EXPECT_EQ(drop->drop_permille, 100u);
+  EXPECT_FALSE(drop->empty());
+
+  auto delay = NetFaultPlan::parse("delay:200+6");
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_EQ(delay->delay.permille, 200u);
+  EXPECT_EQ(delay->delay.max_steps, 6u);
+
+  auto dup = NetFaultPlan::parse("dup:60");
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->dup_permille, 60u);
+
+  auto reorder = NetFaultPlan::parse("reorder:120");
+  ASSERT_TRUE(reorder.has_value());
+  EXPECT_EQ(reorder->reorder_permille, 120u);
+
+  auto part = NetFaultPlan::parse("partition:40+200@0.2");
+  ASSERT_TRUE(part.has_value());
+  ASSERT_EQ(part->partitions.size(), 1u);
+  EXPECT_EQ(part->partitions[0].at_step, 40u);
+  EXPECT_EQ(part->partitions[0].duration, 200u);
+  EXPECT_EQ(part->partitions[0].group, (std::vector<int>{0, 2}));
+
+  auto crash = NetFaultPlan::parse("crash:2@25");
+  ASSERT_TRUE(crash.has_value());
+  ASSERT_EQ(crash->crashes.size(), 1u);
+  EXPECT_EQ(crash->crashes[0].node, 2);
+  EXPECT_EQ(crash->crashes[0].after_msgs, 25u);
+}
+
+TEST(NetPlanTest, RoundTrip) {
+  const std::string text =
+      "drop:100,delay:200+6,dup:60,reorder:120,"
+      "partition:40+200@0.1,crash:2@25";
+  auto plan = NetFaultPlan::parse(text);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->to_string(), text);
+  // Round-tripping the round-trip is a fixed point.
+  auto again = NetFaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->to_string(), text);
+}
+
+TEST(NetPlanTest, PartitionGroupSortedUnique) {
+  auto plan = NetFaultPlan::parse("partition:0+10@2.0.2.1");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->partitions[0].group, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NetPlanTest, LaterScalarSpecOverrides) {
+  auto plan = NetFaultPlan::parse("drop:10,drop:300");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->drop_permille, 300u);
+}
+
+TEST(NetPlanTest, MultiplePartitionsAndCrashesAccumulate) {
+  auto plan =
+      NetFaultPlan::parse("partition:0+5@0,partition:20+5@1,crash:0@3,crash:1@7");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->partitions.size(), 2u);
+  EXPECT_EQ(plan->crashes.size(), 2u);
+}
+
+TEST(NetPlanTest, RejectsJunk) {
+  EXPECT_FALSE(NetFaultPlan::parse("").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("drop").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("drop:").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("drop:abc").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("drop:1001").has_value());  // > 1000‰
+  EXPECT_FALSE(NetFaultPlan::parse("delay:100").has_value());  // no +max
+  EXPECT_FALSE(NetFaultPlan::parse("delay:100+0").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("partition:5@0").has_value());  // no +len
+  EXPECT_FALSE(NetFaultPlan::parse("partition:5+10@").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("crash:1").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("explode:9").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("drop:100,").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse(",drop:100").has_value());
+}
+
+TEST(NetPlanTest, RandomIsDeterministicInSeed) {
+  Rng a(42);
+  Rng b(42);
+  const NetFaultPlan pa = NetFaultPlan::random(a, 5, 1000, 100, 300, 300);
+  const NetFaultPlan pb = NetFaultPlan::random(b, 5, 1000, 100, 300, 300);
+  EXPECT_EQ(pa.to_string(), pb.to_string());
+  EXPECT_EQ(pa.drop_permille, 100u);
+}
+
+TEST(NetPlanTest, RandomPartitionIsProperSubset) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const NetFaultPlan plan =
+        NetFaultPlan::random(rng, 5, 500, 0, /*partition=*/1000, 0);
+    ASSERT_EQ(plan.partitions.size(), 1u);
+    const auto& group = plan.partitions[0].group;
+    EXPECT_GE(group.size(), 1u);
+    EXPECT_LT(group.size(), 5u);  // proper subset: never all replicas
+    for (int node : group) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 5);
+    }
+    EXPECT_TRUE(std::is_sorted(group.begin(), group.end()));
+  }
+}
+
+TEST(NetPlanTest, RandomPlansRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed);
+    const NetFaultPlan plan = NetFaultPlan::random(rng, 3, 400, 100, 200, 200);
+    if (plan.empty()) continue;
+    auto parsed = NetFaultPlan::parse(plan.to_string());
+    ASSERT_TRUE(parsed.has_value()) << plan.to_string();
+    EXPECT_EQ(parsed->to_string(), plan.to_string());
+  }
+}
+
+}  // namespace
+}  // namespace compreg::net

@@ -1,0 +1,213 @@
+// ReplicatedRegister (ABD over SimNet): sequential correctness, the
+// client robustness layer (retry under loss, bounded degradation to
+// Unavailable, crash tolerance up to f, idempotence under duplication),
+// and the NetCell adapter's conformance to the cell concepts.
+#include "net/replicated_register.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "net/net_cell.h"
+#include "registers/register_concepts.h"
+#include "sched/schedule_point.h"
+
+namespace compreg::net {
+namespace {
+
+// The register and its Cell adapter satisfy the construction's concept
+// surface, so they drop straight under CompositeRegister.
+static_assert(
+    registers::MrswCell<ReplicatedRegister<std::uint64_t>, std::uint64_t>);
+static_assert(registers::FallibleMrswCell<ReplicatedRegister<std::uint64_t>,
+                                          std::uint64_t>);
+static_assert(registers::MrswCell<NetCell<std::uint64_t>, std::uint64_t>);
+static_assert(
+    registers::FallibleMrswCell<NetCell<std::uint64_t>, std::uint64_t>);
+
+NetFaultPlan plan_of(const std::string& text) {
+  auto plan = NetFaultPlan::parse(text);
+  EXPECT_TRUE(plan.has_value()) << text;
+  return plan.value_or(NetFaultPlan{});
+}
+
+NetConfig config_f(int f) {
+  NetConfig cfg;
+  cfg.f = f;
+  return cfg;
+}
+
+TEST(ReplicatedRegisterTest, InitialValueReadable) {
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), NetFaultPlan{}, 1);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/2, 42);
+  EXPECT_EQ(reg.read(0), 42u);
+  EXPECT_EQ(reg.read(1), 42u);
+}
+
+TEST(ReplicatedRegisterTest, SequentialWriteRead) {
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), NetFaultPlan{}, 1);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/2, 0);
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    reg.write(v);
+    EXPECT_EQ(reg.read(0), v);
+    EXPECT_EQ(reg.read(static_cast<int>(v) % 2), v);
+  }
+  EXPECT_EQ(reg.write_ts(), 10u);
+  // On a clean network every replica converges to the last write.
+  for (int r = 0; r < cfg.replicas(); ++r) {
+    EXPECT_EQ(reg.replica_ts(r), 10u);
+    EXPECT_EQ(reg.replica_val(r), 10u);
+  }
+}
+
+TEST(ReplicatedRegisterTest, UniformQuorumSkipsWriteBack) {
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), NetFaultPlan{}, 1);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  reg.write(5);
+  EXPECT_EQ(reg.read(0), 5u);
+  // Clean network: the read quorum agrees, phase 2 is provably a no-op.
+  EXPECT_GE(net.stats().client_writeback_skips, 1u);
+  EXPECT_EQ(net.stats().client_writebacks, 0u);
+}
+
+TEST(ReplicatedRegisterTest, WriteBackRunsWhenSkipDisabled) {
+  NetConfig cfg = config_f(1);
+  cfg.writeback_skip_uniform = false;
+  SimNet net(cfg.replicas(), NetFaultPlan{}, 1);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  reg.write(5);
+  EXPECT_EQ(reg.read(0), 5u);
+  EXPECT_GE(net.stats().client_writebacks, 1u);
+}
+
+TEST(ReplicatedRegisterTest, RetriesThroughHeavyLoss) {
+  // 40% loss: individual attempts fail but the retry budget absorbs it.
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), plan_of("drop:400"), 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  for (std::uint64_t v = 1; v <= 25; ++v) {
+    reg.write(v);
+    EXPECT_EQ(reg.read(0), v);
+  }
+  EXPECT_GT(net.stats().dropped_loss, 0u);
+  EXPECT_EQ(net.stats().client_unavailable, 0u);
+}
+
+TEST(ReplicatedRegisterTest, ToleratesFCrashes) {
+  // f = 1: one dead replica out of three never blocks a quorum.
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), plan_of("crash:2@0"), 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    reg.write(v);
+    EXPECT_EQ(reg.read(0), v);
+  }
+  EXPECT_EQ(net.stats().client_unavailable, 0u);
+  EXPECT_EQ(reg.replica_ts(2), 0u);  // the corpse never adopted anything
+}
+
+TEST(ReplicatedRegisterTest, TotalLossDegradesToUnavailableBounded) {
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), plan_of("drop:1000"), 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 9);
+  EXPECT_FALSE(reg.try_write(1));
+  EXPECT_EQ(reg.try_read(0), std::nullopt);
+  EXPECT_EQ(net.stats().client_unavailable, 2u);
+  // Bounded: max_attempts timeouts plus capped backoff windows, per op.
+  const std::uint64_t per_phase =
+      cfg.max_attempts * cfg.timeout_polls +
+      (cfg.max_attempts - 1) * (cfg.backoff_cap + cfg.backoff_cap / 2 + 1);
+  EXPECT_LE(net.stats().polls, 2 * per_phase);
+}
+
+TEST(ReplicatedRegisterTest, QuorumLossThrowsUnavailable) {
+  // f+1 = 2 dead replicas: no quorum, the MrswCell surface throws.
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), plan_of("crash:0@0,crash:1@0"), 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  bool threw = false;
+  try {
+    reg.write(1);
+  } catch (const UnavailableError& e) {
+    threw = true;
+    EXPECT_STREQ(e.op, "write");
+  }
+  EXPECT_TRUE(threw);
+  // UnavailableError is a ProcessParked: the simulator's crash-stop
+  // machinery absorbs it, which is the graceful-degradation contract.
+  try {
+    reg.read(0);
+    FAIL() << "read should not reach a quorum";
+  } catch (const sched::ProcessParked&) {
+  }
+}
+
+TEST(ReplicatedRegisterTest, DuplicationIsIdempotent) {
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), plan_of("dup:1000"), 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    reg.write(v);
+    EXPECT_EQ(reg.read(0), v);
+  }
+  EXPECT_GT(net.stats().duplicated, 0u);
+  EXPECT_EQ(net.stats().client_unavailable, 0u);
+}
+
+TEST(ReplicatedRegisterTest, ReorderAndDelayTolerated) {
+  NetConfig cfg = config_f(2);  // 5 replicas
+  SimNet net(cfg.replicas(), plan_of("delay:500+4,reorder:500"), 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/2, 0);
+  for (std::uint64_t v = 1; v <= 15; ++v) {
+    reg.write(v);
+    EXPECT_EQ(reg.read(static_cast<int>(v) % 2), v);
+  }
+  EXPECT_EQ(net.stats().client_unavailable, 0u);
+}
+
+TEST(ReplicatedRegisterTest, StaleRepliesNeverSatisfyANewPhase) {
+  // A phase under total loss strands requests; when the network heals,
+  // the next phase must not count the stale replies that then arrive.
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), NetFaultPlan{}, 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  reg.write(1);
+  EXPECT_EQ(reg.read(0), 1u);  // op sequence numbers fence the inbox
+  reg.write(2);
+  EXPECT_EQ(reg.read(0), 2u);
+}
+
+TEST(NetCellTest, RequiresAndUsesAmbientFabric) {
+  ScopedNetFabric fab(config_f(1), NetFaultPlan{}, 3);
+  NetCell<std::uint64_t> cell(/*readers=*/2, 7, "test_cell");
+  EXPECT_EQ(cell.read(0), 7u);
+  cell.write(11);
+  EXPECT_EQ(cell.read(1), 11u);
+  EXPECT_TRUE(cell.try_write(12));
+  EXPECT_EQ(cell.try_read(0), std::optional<std::uint64_t>(12));
+  // Cells share the scoped fabric's one network.
+  EXPECT_EQ(&cell.replicated(), &cell.replicated());
+  EXPECT_GT(fab.fabric().net().stats().delivered, 0u);
+}
+
+TEST(NetCellTest, ScopedFabricsNest) {
+  ScopedNetFabric outer(config_f(1), NetFaultPlan{}, 3);
+  NetFabric* outer_ptr = NetFabric::current();
+  {
+    ScopedNetFabric inner(config_f(2), NetFaultPlan{}, 4);
+    EXPECT_NE(NetFabric::current(), outer_ptr);
+    NetCell<std::uint64_t> cell(/*readers=*/1, 0);
+    cell.write(5);
+    EXPECT_EQ(cell.read(0), 5u);
+    EXPECT_GT(inner.fabric().net().stats().delivered, 0u);
+    EXPECT_EQ(outer.fabric().net().stats().delivered, 0u);
+  }
+  EXPECT_EQ(NetFabric::current(), outer_ptr);
+}
+
+}  // namespace
+}  // namespace compreg::net

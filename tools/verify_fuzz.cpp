@@ -20,15 +20,32 @@
 // checker plus, on native runs, the vector-clock race detector. Any
 // finding is treated exactly like a linearizability violation — the
 // report is printed, the artifact gains a parseable conformance dump,
-// and the exit code is 1.
+// and the exit code is 1. A watchdog trip also dumps the conformance
+// report as of the hang, so a wedged run still yields analyzable data.
+//
+// --impl net fuzzes the composite register built over the networked
+// substrate (src/net): every base cell is an ABD quorum-replicated
+// register on a per-iteration SimNet of 2f+1 replicas. Chaos mode then
+// derives a per-iteration NetFaultPlan (message loss at --loss permille
+// plus random delay/dup/reorder, partitions at --net-partition, replica
+// crashes at --net-crash), or replays one fixed plan (--net-plan, see
+// src/net/net_plan.h for the grammar). A quorum-starved operation
+// degrades to Unavailable, which the workload records as a pending
+// (crash-like) op — checked with the crash-aware checkers, never hung.
+//
+// Every artifact ends with a "# replay: verify_fuzz ..." line carrying
+// the failing seed and the concrete plan(s) in force, so reproducing a
+// finding is one copy-paste.
 //
 // Usage:
 //   verify_fuzz [--impl anderson|afek|unbounded|doublecollect|fullstack
-//                       |seqlock|mutex|mw]
+//                       |seqlock|mutex|mw|net]
 //               [--components N] [--readers N] [--iters N] [--seed N]
 //               [--ops N] [--native] [--witness] [--stats] [--conformance]
 //               [--chaos] [--crash-prob PERMILLE] [--stall PERMILLE]
 //               [--plan SPEC] [--out FILE] [--watchdog SECONDS]
+//               [--net-f F] [--loss PERMILLE] [--net-partition PERMILLE]
+//               [--net-crash PERMILLE] [--net-plan SPEC]
 //
 // --impl mw fuzzes the multi-writer reduction (native threads, 3
 // processes). Exit codes: 0 = all iterations clean; 1 = violation found
@@ -40,8 +57,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -62,6 +81,7 @@
 #include "lin/stats.h"
 #include "lin/witness.h"
 #include "lin/workload.h"
+#include "net/net_cell.h"
 #include "sched/policy.h"
 #include "theory/theory_cell.h"
 #include "util/rng.h"
@@ -105,18 +125,56 @@ std::unique_ptr<Snapshot<std::uint64_t>> make_impl(const std::string& name,
     return std::make_unique<compreg::baselines::MutexSnapshot<std::uint64_t>>(
         c, r, 0);
   }
+  if (name == "net") {
+    // Caller must have a net::ScopedNetFabric installed; every base cell
+    // of the construction becomes one quorum-replicated register on it.
+    return std::make_unique<compreg::core::CompositeRegister<
+        std::uint64_t, compreg::net::NetCell, compreg::net::NetCell>>(c, r,
+                                                                      0);
+  }
   return nullptr;
 }
+
+// What the fuzz loop is doing *right now*, shared with the watchdog
+// thread so a hang artifact can name the in-flight seed and the exact
+// (derived) plans it was running under — not just the fixed flags.
+struct LiveState {
+  std::mutex mu;
+  std::uint64_t seed = 0;
+  std::string plan;      // process fault plan in force this iteration
+  std::string net_plan;  // network fault plan in force this iteration
+
+  void set(std::uint64_t s, const std::string& p, const std::string& np) {
+    std::lock_guard<std::mutex> lock(mu);
+    seed = s;
+    plan = p;
+    net_plan = np;
+  }
+  void get(std::uint64_t& s, std::string& p, std::string& np) {
+    std::lock_guard<std::mutex> lock(mu);
+    s = seed;
+    p = plan;
+    np = net_plan;
+  }
+};
 
 struct Artifact {
   std::string path = "verify_fuzz_failure.txt";
   std::string config_line;
 };
 
+// Builds the single copy-pasteable command that replays one iteration:
+// the concrete per-iteration plans ride along explicitly, so the replay
+// does not depend on chaos-mode derivation flags.
+using ReplayFn = std::function<std::string(
+    std::uint64_t seed, const std::string& plan, const std::string& net_plan)>;
+
 // Writes a replayable failure artifact: the config, the failing seed,
-// the plan in force, and (when available) the offending history.
+// the plans in force, the replay command, and (when available) the
+// offending history plus a parseable conformance dump.
 void write_artifact(const Artifact& artifact, const char* kind,
                     std::uint64_t seed, const std::string& plan,
+                    const std::string& net_plan, const std::string& replay,
                     const std::string& detail,
                     const compreg::lin::History* history,
                     const std::string& conformance_dump = std::string()) {
@@ -130,6 +188,8 @@ void write_artifact(const Artifact& artifact, const char* kind,
   out << "# " << artifact.config_line << "\n";
   out << "# seed " << seed << "\n";
   if (!plan.empty()) out << "# plan " << plan << "\n";
+  if (!net_plan.empty()) out << "# net-plan " << net_plan << "\n";
+  if (!replay.empty()) out << "# replay: " << replay << "\n";
   if (!detail.empty()) out << "# " << detail << "\n";
   if (history != nullptr) compreg::lin::dump_history(*history, out);
   if (!conformance_dump.empty()) {
@@ -139,18 +199,21 @@ void write_artifact(const Artifact& artifact, const char* kind,
 }
 
 // Hang detector: if the fuzz loop makes no progress for `timeout_sec`,
-// dump an artifact naming the in-flight seed and _Exit(2). _Exit skips
-// destructors on purpose — a wedged simulator holds threads that can
-// never be joined.
+// dump an artifact naming the in-flight seed, the plans it was running
+// under, a copy-pasteable replay command, and — when --conformance is
+// on — the analyzer's report of everything observed up to the hang.
+// Then _Exit(2). _Exit skips destructors on purpose — a wedged
+// simulator holds threads that can never be joined.
 class Watchdog {
  public:
   Watchdog(unsigned timeout_sec, const Artifact& artifact,
-           const std::atomic<std::uint64_t>& progress,
-           const std::atomic<std::uint64_t>& current_seed,
-           const std::string& plan)
+           const std::atomic<std::uint64_t>& progress, LiveState& live,
+           ReplayFn replay, std::function<std::string()> conformance_dump)
       : timeout_sec_(timeout_sec) {
     if (timeout_sec_ == 0) return;
-    std::thread([this, &artifact, &progress, &current_seed, plan] {
+    std::thread([this, &artifact, &progress, &live,
+                 replay = std::move(replay),
+                 conformance_dump = std::move(conformance_dump)] {
       std::uint64_t last = progress.load();
       auto last_change = std::chrono::steady_clock::now();
       for (;;) {
@@ -163,15 +226,25 @@ class Watchdog {
         }
         const auto stalled = std::chrono::steady_clock::now() - last_change;
         if (stalled >= std::chrono::seconds(timeout_sec_)) {
-          const std::uint64_t seed = current_seed.load();
+          std::uint64_t seed = 0;
+          std::string plan;
+          std::string net_plan;
+          live.get(seed, plan, net_plan);
           std::fprintf(stderr,
                        "WATCHDOG: no progress for %u s, run is hung "
                        "(seed %llu); exiting 2\n",
                        timeout_sec_,
                        static_cast<unsigned long long>(seed));
+          // The hung iteration's workload threads are parked in the
+          // scheduler, so reading the analysis session here is quiet.
+          const std::string dump =
+              conformance_dump ? conformance_dump() : std::string();
           write_artifact(artifact, "watchdog timeout (hung run)", seed, plan,
-                         "the iteration at this seed never completed",
-                         nullptr);
+                         net_plan, replay(seed, plan, net_plan),
+                         "the iteration at this seed never completed; any "
+                         "conformance report below reflects events up to "
+                         "the hang",
+                         nullptr, dump);
           std::fflush(stdout);
           std::fflush(stderr);
           std::_Exit(kExitWatchdog);
@@ -202,6 +275,11 @@ int main(int argc, char** argv) {
   long stall_permille = -1;
   std::string plan_text;
   unsigned watchdog_sec = 30;
+  int net_f = 1;
+  long loss_permille = -1;  // -1 = not set
+  long net_partition_permille = -1;
+  long net_crash_permille = -1;
+  std::string net_plan_text;
   Artifact artifact;
 
   for (int i = 1; i < argc; ++i) {
@@ -240,6 +318,16 @@ int main(int argc, char** argv) {
       stall_permille = std::atol(next("--stall"));
     } else if (!std::strcmp(argv[i], "--plan")) {
       plan_text = next("--plan");
+    } else if (!std::strcmp(argv[i], "--net-f")) {
+      net_f = std::atoi(next("--net-f"));
+    } else if (!std::strcmp(argv[i], "--loss")) {
+      loss_permille = std::atol(next("--loss"));
+    } else if (!std::strcmp(argv[i], "--net-partition")) {
+      net_partition_permille = std::atol(next("--net-partition"));
+    } else if (!std::strcmp(argv[i], "--net-crash")) {
+      net_crash_permille = std::atol(next("--net-crash"));
+    } else if (!std::strcmp(argv[i], "--net-plan")) {
+      net_plan_text = next("--net-plan");
     } else if (!std::strcmp(argv[i], "--out")) {
       artifact.path = next("--out");
     } else if (!std::strcmp(argv[i], "--watchdog")) {
@@ -249,18 +337,47 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
   }
-  if (native && impl == "fullstack") {
+  if (native && (impl == "fullstack" || impl == "net")) {
     std::fprintf(stderr,
-                 "fullstack is simulator-only (its primitives rely on "
-                 "serialized steps)\n");
+                 "%s is simulator-only (its primitives rely on "
+                 "serialized steps)\n",
+                 impl.c_str());
+    return kExitUsage;
+  }
+  if (impl != "net" &&
+      (loss_permille >= 0 || net_partition_permille >= 0 ||
+       net_crash_permille >= 0 || !net_plan_text.empty() || net_f != 1)) {
+    std::fprintf(stderr,
+                 "network flags (--net-f/--loss/--net-partition/"
+                 "--net-crash/--net-plan) require --impl net\n");
+    return kExitUsage;
+  }
+  if (impl == "net" && net_f < 1) {
+    std::fprintf(stderr, "--net-f must be >= 1 (2f+1 replicas)\n");
     return kExitUsage;
   }
   if (chaos) {
-    if (crash_permille < 0) crash_permille = 350;
-    if (stall_permille < 0) stall_permille = 250;
+    if (impl == "net") {
+      // Network chaos: faults live in the transport, not the processes,
+      // unless process faults are explicitly requested on top.
+      if (loss_permille < 0) loss_permille = 100;  // 10% message loss
+      if (net_partition_permille < 0) net_partition_permille = 150;
+      if (net_crash_permille < 0) net_crash_permille = 150;
+    } else {
+      if (crash_permille < 0) crash_permille = 350;
+      if (stall_permille < 0) stall_permille = 250;
+    }
   }
   if (crash_permille < 0) crash_permille = 0;
   if (stall_permille < 0) stall_permille = 0;
+  if (loss_permille < 0) loss_permille = 0;
+  if (net_partition_permille < 0) net_partition_permille = 0;
+  if (net_crash_permille < 0) net_crash_permille = 0;
+  if (loss_permille > 1000 || net_partition_permille > 1000 ||
+      net_crash_permille > 1000) {
+    std::fprintf(stderr, "permille values cap at 1000\n");
+    return kExitUsage;
+  }
   const bool inject_faults =
       crash_permille > 0 || stall_permille > 0 || !plan_text.empty();
   if (inject_faults && (native || impl == "mw")) {
@@ -277,12 +394,33 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
   }
+  std::optional<compreg::net::NetFaultPlan> fixed_net_plan;
+  if (!net_plan_text.empty()) {
+    fixed_net_plan = compreg::net::NetFaultPlan::parse(net_plan_text);
+    if (!fixed_net_plan) {
+      std::fprintf(stderr, "unparsable --net-plan '%s'\n",
+                   net_plan_text.c_str());
+      return kExitUsage;
+    }
+  }
+  const bool inject_net_faults =
+      impl == "net" && (loss_permille > 0 || net_partition_permille > 0 ||
+                        net_crash_permille > 0 || fixed_net_plan.has_value());
 
   {
     std::ostringstream cfg;
     cfg << "impl=" << impl << " C=" << components << " R=" << readers
         << " iters=" << iters << " base_seed=" << seed << " ops=" << ops
         << " mode=" << ((native || impl == "mw") ? "native" : "sim");
+    if (impl == "net") {
+      cfg << " f=" << net_f << " replicas=" << (2 * net_f + 1);
+      if (inject_net_faults) {
+        cfg << " loss=" << loss_permille
+            << " net-partition=" << net_partition_permille
+            << " net-crash=" << net_crash_permille;
+        if (fixed_net_plan) cfg << " net-plan=" << fixed_net_plan->to_string();
+      }
+    }
     if (inject_faults) {
       cfg << " crash-prob=" << crash_permille << " stall=" << stall_permille;
       if (fixed_plan) cfg << " plan=" << fixed_plan->to_string();
@@ -293,11 +431,6 @@ int main(int argc, char** argv) {
   std::printf("verify_fuzz: %s%s\n", artifact.config_line.c_str(),
               witness ? " +witness" : "");
 
-  std::atomic<std::uint64_t> progress{0};
-  std::atomic<std::uint64_t> current_seed{seed};
-  Watchdog watchdog(watchdog_sec, artifact, progress, current_seed,
-                    plan_text);
-
   // The ownership checker runs on every mode; the happens-before race
   // detector only on free-running threads (the simulator serializes
   // execution, so racing there is what the ownership rules cover).
@@ -305,12 +438,74 @@ int main(int argc, char** argv) {
       /*detect_races=*/native || impl == "mw");
   compreg::lin::ConformanceCounters conf_total;
 
+  // One copy-pasteable line that replays a single iteration. The
+  // concrete plans are baked in, so chaos derivation flags drop out.
+  const ReplayFn make_replay = [&](std::uint64_t s, const std::string& p,
+                                   const std::string& np) {
+    std::ostringstream cmd;
+    cmd << "verify_fuzz --impl " << impl << " --components " << components
+        << " --readers " << readers << " --ops " << ops << " --seed " << s
+        << " --iters 1";
+    if (native) cmd << " --native";
+    if (conformance) cmd << " --conformance";
+    if (witness) cmd << " --witness";
+    if (impl == "net") cmd << " --net-f " << net_f;
+    if (!p.empty()) cmd << " --plan '" << p << "'";
+    if (!np.empty()) cmd << " --net-plan '" << np << "'";
+    return cmd.str();
+  };
+
+  std::atomic<std::uint64_t> progress{0};
+  LiveState live;
+  live.set(seed, plan_text, net_plan_text);
+  std::function<std::string()> watchdog_conf_dump;
+  if (conformance) {
+    watchdog_conf_dump = [&session] { return session.report().dump(); };
+  }
+  Watchdog watchdog(watchdog_sec, artifact, progress, live, make_replay,
+                    watchdog_conf_dump);
+
+  const bool sim_mode = !native && impl != "mw";
   std::uint64_t pending_ops_seen = 0;
   for (std::uint64_t i = 0; i < iters; ++i) {
     const std::uint64_t it_seed = seed + i;
-    current_seed.store(it_seed);
     compreg::lin::History h;
     compreg::fault::FaultPlan plan;
+    compreg::net::NetFaultPlan net_plan;
+    if (sim_mode && inject_faults) {
+      if (fixed_plan) {
+        plan = *fixed_plan;
+      } else {
+        // Derive this iteration's plan from its seed alone, so
+        // re-running with --seed <it_seed> --iters 1 replays it.
+        compreg::Rng plan_rng(it_seed ^ 0xfa0175ab5eedull);
+        const std::uint64_t est_points =
+            static_cast<std::uint64_t>(ops) * 16 + 8;
+        plan = compreg::fault::FaultPlan::random(
+            plan_rng, components + readers, est_points,
+            static_cast<unsigned>(crash_permille),
+            static_cast<unsigned>(stall_permille));
+      }
+    }
+    if (inject_net_faults) {
+      if (fixed_net_plan) {
+        net_plan = *fixed_net_plan;
+      } else {
+        compreg::Rng net_rng(it_seed ^ 0x6e65745f5eedull);
+        // Network steps dwarf schedule points: each base-register op is
+        // a broadcast plus a poll loop, and the composite construction
+        // issues many base ops per operation.
+        const std::uint64_t est_net_steps =
+            static_cast<std::uint64_t>(ops) * 400;
+        net_plan = compreg::net::NetFaultPlan::random(
+            net_rng, 2 * net_f + 1, est_net_steps,
+            static_cast<unsigned>(loss_permille),
+            static_cast<unsigned>(net_partition_permille),
+            static_cast<unsigned>(net_crash_permille));
+      }
+    }
+    live.set(it_seed, plan.empty() ? std::string() : plan.to_string(),
+             net_plan.empty() ? std::string() : net_plan.to_string());
     // Installed after construction (registers label only their
     // operational accesses) and removed before report() below.
     std::optional<compreg::sched::ScopedAccessObserver> observe;
@@ -340,6 +535,14 @@ int main(int argc, char** argv) {
       cfg.seed = it_seed;
       h = compreg::lin::run_native_workload(*snap, cfg);
     } else {
+      // Declared before the snapshot so the cells (which reference the
+      // fabric's SimNet) are destroyed first.
+      std::optional<compreg::net::ScopedNetFabric> fab;
+      if (impl == "net") {
+        compreg::net::NetConfig ncfg;
+        ncfg.f = net_f;
+        fab.emplace(ncfg, net_plan, it_seed ^ 0x51b2e75eedull);
+      }
       auto snap = make_impl(impl, components, readers);
       if (!snap) {
         std::fprintf(stderr, "unknown impl '%s'\n", impl.c_str());
@@ -350,19 +553,6 @@ int main(int argc, char** argv) {
       cfg.writes_per_writer = ops;
       cfg.scans_per_reader = ops;
       if (inject_faults) {
-        if (fixed_plan) {
-          plan = *fixed_plan;
-        } else {
-          // Derive this iteration's plan from its seed alone, so
-          // re-running with --seed <it_seed> --iters 1 replays it.
-          compreg::Rng plan_rng(it_seed ^ 0xfa0175ab5eedull);
-          const std::uint64_t est_points =
-              static_cast<std::uint64_t>(ops) * 16 + 8;
-          plan = compreg::fault::FaultPlan::random(
-              plan_rng, components + readers, est_points,
-              static_cast<unsigned>(crash_permille),
-              static_cast<unsigned>(stall_permille));
-        }
         h = compreg::fault::run_sim_workload_with_faults(*snap, policy, cfg,
                                                          plan);
       } else {
@@ -390,9 +580,15 @@ int main(int argc, char** argv) {
         if (!plan.empty()) {
           std::printf("fault plan: %s\n", plan.to_string().c_str());
         }
+        if (!net_plan.empty()) {
+          std::printf("net fault plan: %s\n", net_plan.to_string().c_str());
+        }
         write_artifact(artifact, "conformance findings", it_seed,
-                       plan.to_string(), creport.findings.front().to_string(),
-                       &h, creport.dump());
+                       plan.to_string(), net_plan.to_string(),
+                       make_replay(it_seed, plan.to_string(),
+                                   net_plan.to_string()),
+                       creport.findings.front().to_string(), &h,
+                       creport.dump());
         return kExitViolation;
       }
     }
@@ -410,9 +606,15 @@ int main(int argc, char** argv) {
       if (!plan.empty()) {
         std::printf("fault plan: %s\n", plan.to_string().c_str());
       }
+      if (!net_plan.empty()) {
+        std::printf("net fault plan: %s\n", net_plan.to_string().c_str());
+      }
       std::printf("# replayable history follows\n");
       compreg::lin::dump_history(h, std::cout);
       write_artifact(artifact, "violation", it_seed, plan.to_string(),
+                     net_plan.to_string(),
+                     make_replay(it_seed, plan.to_string(),
+                                 net_plan.to_string()),
                      result.violation, &h);
       return kExitViolation;
     }
@@ -424,7 +626,10 @@ int main(int argc, char** argv) {
                     w.error.c_str());
         compreg::lin::dump_history(h, std::cout);
         write_artifact(artifact, "witness failure", it_seed,
-                       plan.to_string(), w.error, &h);
+                       plan.to_string(), net_plan.to_string(),
+                       make_replay(it_seed, plan.to_string(),
+                                   net_plan.to_string()),
+                       w.error, &h);
         return kExitViolation;
       }
     }
@@ -435,9 +640,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(iters));
     }
   }
-  if (inject_faults) {
-    std::printf("all %llu executions linearizable (%llu crashed ops "
-                "recorded pending)\n",
+  if (inject_faults || inject_net_faults) {
+    std::printf("all %llu executions linearizable (%llu crashed/unavailable "
+                "ops recorded pending)\n",
                 static_cast<unsigned long long>(iters),
                 static_cast<unsigned long long>(pending_ops_seen));
   } else {
