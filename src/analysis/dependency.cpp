@@ -1,0 +1,60 @@
+#include "analysis/dependency.h"
+
+#include "util/assert.h"
+
+namespace compreg::analysis {
+
+bool DependencyModel::access_dependent(const sched::Access& x,
+                                       const sched::Access& y) const {
+  if (x.decl.global_order && y.decl.global_order) return true;
+  // Undeclared cells carry no identity to reason with; never commute
+  // them. (The conformance checker flags them separately.)
+  if (x.decl.cell == 0 || y.decl.cell == 0) return true;
+  if (x.decl.cell != y.decl.cell) return false;
+  if (opts_.conservative_reads) return true;
+  return x.kind == sched::AccessKind::kWrite ||
+         y.kind == sched::AccessKind::kWrite;
+}
+
+bool DependencyModel::dependent(const StepInfo& a, const StepInfo& b) const {
+  if (a.proc == b.proc) return true;  // program order
+  if (a.opaque() || b.opaque()) return true;
+  for (const sched::Access& x : a.accesses) {
+    for (const sched::Access& y : b.accesses) {
+      if (access_dependent(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+void TraceRecorder::on_access(const sched::Access& access, int proc,
+                              std::uint64_t sched_pos) {
+  if (sched_pos == 0) {
+    prologue_.push_back(access);
+  } else {
+    const std::size_t grant = static_cast<std::size_t>(sched_pos) - 1;
+    if (by_grant_.size() <= grant) by_grant_.resize(grant + 1);
+    by_grant_[grant].push_back(access);
+  }
+  if (tee_ != nullptr) tee_->on_access(access, proc, sched_pos);
+}
+
+std::vector<StepInfo> TraceRecorder::finalize(const std::vector<int>& trace) {
+  COMPREG_CHECK(by_grant_.size() <= trace.size(),
+                "access reported at grant %zu but trace has only %zu steps",
+                by_grant_.size() - 1, trace.size());
+  std::vector<StepInfo> steps(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    steps[i].proc = trace[i];
+    if (i < by_grant_.size()) steps[i].accesses = std::move(by_grant_[i]);
+  }
+  reset();
+  return steps;
+}
+
+void TraceRecorder::reset() {
+  by_grant_.clear();
+  prologue_.clear();
+}
+
+}  // namespace compreg::analysis

@@ -1,0 +1,97 @@
+// Dependency relation over labeled schedule points, plus per-execution
+// trace recording — the semantic input of the DPOR engine
+// (src/sched/dpor.h).
+//
+// Two scheduler steps are *independent* when executing them in either
+// order from the same state yields the same state; DPOR only explores
+// one order of each independent pair. PR 2's AccessLabels give exactly
+// the information needed to decide this syntactically: a step is the
+// set of labeled cell accesses its grant performed, and two steps
+// commute unless they touch the same cell with at least one write (or
+// one of them is opaque — see below). docs/analysis.md states the
+// soundness argument and its preconditions.
+//
+// Conservative defaults, never unsound ones:
+//  - A step that reported no labeled access (a bare sched::point(), a
+//    crash-consumed grant, a park) is *opaque*: dependent with every
+//    other step.
+//  - An access to an undeclared cell (id 0) is treated like an opaque
+//    step's: dependent with everything.
+//  - Accesses to global-order cells (CellDecl::global_order — SimNet's
+//    send/poll points, which share the network queue, clock and fault
+//    RNG behind distinct cell ids) are pairwise dependent regardless of
+//    cell or kind.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sched/access.h"
+
+namespace compreg::analysis {
+
+// One scheduler grant ("step") of a completed execution: the granted
+// process and every labeled access it reported while holding the turn
+// (a grant takes one schedule point but may report several accesses —
+// sub-model registers use sched::observe()).
+struct StepInfo {
+  int proc = -1;
+  std::vector<sched::Access> accesses;
+  bool opaque() const { return accesses.empty(); }
+};
+
+struct DependencyOptions {
+  // Also treat read-read pairs on the same cell as dependent. Sound by
+  // construction (a superset of dependencies only costs reduction), for
+  // paranoia runs against registers whose reads mutate hidden state.
+  bool conservative_reads = false;
+};
+
+class DependencyModel {
+ public:
+  DependencyModel() = default;
+  explicit DependencyModel(const DependencyOptions& opts) : opts_(opts) {}
+
+  // Would reordering adjacent `a` and `b` possibly change the state?
+  bool dependent(const StepInfo& a, const StepInfo& b) const;
+  bool access_dependent(const sched::Access& x, const sched::Access& y) const;
+
+  const DependencyOptions& options() const { return opts_; }
+
+ private:
+  DependencyOptions opts_;
+};
+
+// AccessObserver that groups the labeled access stream of one simulated
+// execution by scheduler grant. `sched_pos` at report time is the trace
+// size *after* the grant was pushed, so grant index = sched_pos - 1;
+// sched_pos == 0 means the arrival phase (every process runs to its
+// first schedule point before the grant loop, serialized in spawn
+// order), which is schedule-invariant and kept out of the step list.
+// Forwards every access to an optional tee observer (the conformance
+// analyzer) so recording and checking share one installation slot.
+class TraceRecorder final : public sched::AccessObserver {
+ public:
+  explicit TraceRecorder(sched::AccessObserver* tee = nullptr) : tee_(tee) {}
+
+  void on_access(const sched::Access& access, int proc,
+                 std::uint64_t sched_pos) override;
+
+  // Align the recorded accesses with the scheduler's final trace and
+  // return one StepInfo per grant (grants that reported nothing come
+  // back opaque). Leaves the recorder ready for the next execution.
+  std::vector<StepInfo> finalize(const std::vector<int>& trace);
+
+  // Accesses reported during the arrival phase of the last execution.
+  const std::vector<sched::Access>& prologue() const { return prologue_; }
+
+  void reset();
+
+ private:
+  sched::AccessObserver* tee_;
+  std::vector<std::vector<sched::Access>> by_grant_;
+  std::vector<sched::Access> prologue_;
+};
+
+}  // namespace compreg::analysis

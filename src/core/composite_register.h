@@ -187,6 +187,7 @@ class CompositeRegister final : public Snapshot<V> {
     for (int c = 2; c <= components; ++c) tr = 5 + 2 * tr;
     return tr;
   }
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): paper tuple
   static std::uint64_t write_cost(int components, int num_readers,
                                   int component = 0) {
     const int c = components - component;

@@ -43,6 +43,7 @@ class MultiWriterSnapshot {
   // `processes` potential writers, `num_readers` dedicated reader
   // slots. Process p uses inner reader slot p for its embedded scans;
   // reader r uses inner slot processes + r.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): paper tuple
   MultiWriterSnapshot(int components, int processes, int num_readers,
                       const V& initial)
       : m_(components), n_(processes), r_(num_readers) {

@@ -17,6 +17,7 @@ lin::CheckResult certify_fail(std::string msg) {
 
 }  // namespace
 
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters): paper tuple
 void WaitFreedomCertifier::expect_writer(int proc, int component,
                                          int writes) {
   expected_.push_back(Expectation{proc, component, writes});

@@ -47,6 +47,7 @@ class WaitFreedomCertifier {
 
   // Declare process `proc` as the writer of `component` performing
   // `writes` Writes, or as a reader performing `reads` Reads.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): paper tuple
   void expect_writer(int proc, int component, int writes);
   void expect_reader(int proc, int reads);
 

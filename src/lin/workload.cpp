@@ -12,8 +12,19 @@
 namespace compreg::lin {
 namespace {
 
+// Under the simulator, every operation invocation and response reports
+// one access on a shared `order` cell (kMrmw: multi-writer by design,
+// tracked but not flagged). This pins the real-time precedence relation
+// of the history to the dependency relation: two scheduler grants that
+// record op boundaries are never commuted by schedule exploration
+// (sched/dpor.h), so every execution in a Mazurkiewicz class has the
+// same precedence order — without it, reversing two register-
+// independent grants could turn "completed before" into "overlapping"
+// and change a linearizability verdict within the class. Native runs
+// pass order == nullptr (their precedence comes from real time).
 void writer_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
-                 int component, const WorkloadConfig& cfg) {
+                 int component, const WorkloadConfig& cfg,
+                 const sched::AccessLabel* order) {
   std::uint64_t last_id = 0;
   for (int i = 1; i <= cfg.writes_per_writer; ++i) {
     const std::uint64_t value =
@@ -23,6 +34,7 @@ void writer_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
     w.value = value;
     w.proc = component;
     w.start = rec.clock().tick();
+    if (order != nullptr) sched::observe(order->write());
     OpWindow win;
     try {
       w.id = snap.update(component, value);
@@ -38,6 +50,7 @@ void writer_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
     }
     w.cost = win.delta().total();
     w.end = rec.clock().tick();
+    if (order != nullptr) sched::observe(order->write());
     last_id = w.id;
     rec.record_write(component, w);
     if (cfg.burst > 0 && i % cfg.burst == 0) {
@@ -49,13 +62,14 @@ void writer_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
 }
 
 void reader_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
-                 int reader, int scans) {
+                 int reader, int scans, const sched::AccessLabel* order) {
   const int proc = snap.components() + reader;
   std::vector<core::Item<std::uint64_t>> items;
   for (int i = 0; i < scans; ++i) {
     ReadRec r;
     r.proc = proc;
     r.start = rec.clock().tick();
+    if (order != nullptr) sched::observe(order->write());
     OpWindow win;
     try {
       snap.scan_items(reader, items);
@@ -69,6 +83,7 @@ void reader_body(core::Snapshot<std::uint64_t>& snap, HistoryRecorder& rec,
     }
     r.cost = win.delta().total();
     r.end = rec.clock().tick();
+    if (order != nullptr) sched::observe(order->write());
     r.ids.resize(items.size());
     r.values.resize(items.size());
     for (std::size_t k = 0; k < items.size(); ++k) {
@@ -100,7 +115,7 @@ History run_native_workload(core::Snapshot<std::uint64_t>& snap,
                                        cfg.seed * 1315423911u +
                                            static_cast<std::uint64_t>(k));
       barrier.arrive_and_wait();
-      writer_body(snap, rec, k, cfg);
+      writer_body(snap, rec, k, cfg, /*order=*/nullptr);
     });
   }
   for (int j = 0; j < r; ++j) {
@@ -110,32 +125,47 @@ History run_native_workload(core::Snapshot<std::uint64_t>& snap,
                                        cfg.seed * 2654435761u + 1000003u +
                                            static_cast<std::uint64_t>(j));
       barrier.arrive_and_wait();
-      reader_body(snap, rec, j, cfg.scans_per_reader);
+      reader_body(snap, rec, j, cfg.scans_per_reader, /*order=*/nullptr);
     });
   }
   for (auto& t : threads) t.join();
   return rec.merge();
 }
 
+std::shared_ptr<HistoryRecorder> spawn_sim_workload(
+    sched::SimScheduler& sim, core::Snapshot<std::uint64_t>& snap,
+    const WorkloadConfig& cfg) {
+  const int c = snap.components();
+  const int r = snap.readers();
+  auto rec = std::make_shared<HistoryRecorder>(
+      c,
+      std::vector<std::uint64_t>(static_cast<std::size_t>(c), cfg.initial),
+      c + r);
+  // One shared boundary-order cell per workload: see writer_body.
+  auto order = std::make_shared<sched::AccessLabel>(
+      "workload.op_order", sched::Discipline::kMrmw, /*readers=*/0);
+  for (int k = 0; k < c; ++k) {
+    sim.spawn([&snap, rec, k, cfg, order] {
+      writer_body(snap, *rec, k, cfg, order.get());
+    });
+  }
+  for (int j = 0; j < r; ++j) {
+    sim.spawn([&snap, rec, j, scans = cfg.scans_per_reader, order] {
+      reader_body(snap, *rec, j, scans, order.get());
+    });
+  }
+  return rec;
+}
+
 History run_sim_workload(
     core::Snapshot<std::uint64_t>& snap, sched::SchedulePolicy& policy,
     const WorkloadConfig& cfg,
     const std::function<void(sched::SimScheduler&)>& on_sim) {
-  const int c = snap.components();
-  const int r = snap.readers();
-  HistoryRecorder rec(c, std::vector<std::uint64_t>(
-                             static_cast<std::size_t>(c), cfg.initial),
-                      c + r);
   sched::SimScheduler sim(policy);
-  for (int k = 0; k < c; ++k) {
-    sim.spawn([&, k] { writer_body(snap, rec, k, cfg); });
-  }
-  for (int j = 0; j < r; ++j) {
-    sim.spawn([&, j] { reader_body(snap, rec, j, cfg.scans_per_reader); });
-  }
+  auto rec = spawn_sim_workload(sim, snap, cfg);
   if (on_sim) on_sim(sim);
   sim.run();
-  return rec.merge();
+  return rec->merge();
 }
 
 History run_native_workload_mw(core::MultiWriterSnapshot<std::uint64_t>& snap,

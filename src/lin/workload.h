@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "core/multi_writer.h"
 #include "core/snapshot.h"
@@ -56,6 +57,15 @@ History run_sim_workload(
     core::Snapshot<std::uint64_t>& snap, sched::SchedulePolicy& policy,
     const WorkloadConfig& cfg,
     const std::function<void(sched::SimScheduler&)>& on_sim = {});
+
+// Lower-level form for callers that own the scheduler (the DPOR engine
+// builds a fresh SimScheduler per explored schedule): spawns the same
+// writer/reader process structure into `sim` and returns the recorder
+// the processes write into. Caller runs the scheduler, then calls
+// merge() on the recorder for the history.
+std::shared_ptr<HistoryRecorder> spawn_sim_workload(
+    sched::SimScheduler& sim, core::Snapshot<std::uint64_t>& snap,
+    const WorkloadConfig& cfg);
 
 struct MwWorkloadConfig {
   int writes_per_process = 50;

@@ -19,8 +19,10 @@ SimNet::SimNet(int replicas, NetFaultPlan plan, std::uint64_t seed)
       // position network events in the schedule) without flagging them
       // — the SWMR discipline lives one level up, at the replicated
       // register they transport.
-      send_access_("net.send", sched::Discipline::kMrmw, /*readers=*/0),
-      poll_access_("net.poll", sched::Discipline::kMrmw, /*readers=*/0) {
+      send_access_("net.send", sched::Discipline::kMrmw, /*readers=*/0,
+                   /*global_order=*/true),
+      poll_access_("net.poll", sched::Discipline::kMrmw, /*readers=*/0,
+                   /*global_order=*/true) {
   COMPREG_CHECK(replicas >= 1, "SimNet needs at least one replica");
   for (const ReplicaCrashSpec& c : plan_.crashes) {
     if (c.node < 0 || c.node >= replicas) continue;  // tolerated: no-op

@@ -40,6 +40,13 @@ struct CellDecl {
   const char* owner = "?";  // owning register's label (string literal)
   Discipline discipline = Discipline::kSwmr;
   int readers = 0;  // declared reader-slot capacity; 0 = unslotted
+  // Accesses to this cell are ordered against accesses to EVERY other
+  // global-order cell, not just its own: the cell fronts shared hidden
+  // state beyond the register value (SimNet's message queue, clock and
+  // fault RNG sit behind both its send and poll cells). The DPOR
+  // dependency relation (src/analysis/dependency.h) treats any two
+  // global-order accesses as dependent.
+  bool global_order = false;
 };
 
 // One labeled shared-register access, carried by value into point().
@@ -56,8 +63,9 @@ std::uint64_t new_cell_id();
 // base register and build Access descriptors from it at each access.
 class AccessLabel {
  public:
-  AccessLabel(const char* owner, Discipline discipline, int readers)
-      : decl_{new_cell_id(), owner, discipline, readers} {}
+  AccessLabel(const char* owner, Discipline discipline, int readers,
+              bool global_order = false)
+      : decl_{new_cell_id(), owner, discipline, readers, global_order} {}
 
   const CellDecl& decl() const { return decl_; }
   std::uint64_t cell() const { return decl_.cell; }

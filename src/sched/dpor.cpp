@@ -1,0 +1,341 @@
+#include "sched/dpor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <numbers>
+#include <utility>
+
+#include "fault/fault_policy.h"
+#include "sched/policy.h"
+#include "util/assert.h"
+
+namespace compreg::sched {
+namespace {
+
+// Replays a schedule prefix, then continues deterministically with the
+// lowest-id enabled process; records the enabled set of every decision
+// (the backtrack-insertion rule needs it).
+class DporPolicy final : public SchedulePolicy {
+ public:
+  explicit DporPolicy(std::vector<int> script) : script_(std::move(script)) {}
+
+  int pick(const std::vector<int>& runnable) override {
+    enabled_.push_back(runnable);
+    int choice;
+    if (pos_ < script_.size()) {
+      choice = script_[pos_];
+      COMPREG_CHECK(
+          std::find(runnable.begin(), runnable.end(), choice) !=
+              runnable.end(),
+          "DPOR replay diverged: proc %d not runnable at step %zu "
+          "(scenario state must be rebuilt fresh and schedule-determined)",
+          choice, pos_);
+    } else {
+      choice = runnable.front();
+    }
+    ++pos_;
+    return choice;
+  }
+
+  const std::vector<std::vector<int>>& enabled() const { return enabled_; }
+
+ private:
+  std::vector<int> script_;
+  std::size_t pos_ = 0;
+  std::vector<std::vector<int>> enabled_;
+};
+
+// One frame of the exploration stack: the scheduling decision taken at
+// this depth in the current execution, plus DPOR bookkeeping.
+struct Node {
+  std::vector<int> enabled;   // processes the policy could pick here
+  int chosen = -1;            // pick of the current branch
+  std::vector<int> backtrack; // picks that must (eventually) be tried
+  std::vector<int> done;      // picks fully explored (or pruned asleep)
+  // Next transition of every process from this state, taken from the
+  // latest execution through it. State-determined: any execution
+  // sharing the prefix sees the same per-process next transition, so
+  // overwriting each run is safe.
+  std::map<int, analysis::StepInfo> next;
+};
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+void add_unique(std::vector<int>& v, int x) {
+  if (!contains(v, x)) v.push_back(x);
+}
+
+// Does the step at index i touch state shared with *every* other step?
+// (No labeled access at all, or an access to an undeclared cell.)
+bool universal(const analysis::StepInfo& s) {
+  if (s.opaque()) return true;
+  for (const Access& a : s.accesses) {
+    if (a.decl.cell == 0) return true;
+  }
+  return false;
+}
+
+bool has_global(const analysis::StepInfo& s) {
+  for (const Access& a : s.accesses) {
+    if (a.decl.global_order) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DporResult explore_dpor(const DporScenario& scenario, const DporOptions& opts) {
+  COMPREG_CHECK(opts.plan.hangs.empty(),
+                "DPOR cannot explore hang plans: every schedule would wedge");
+  const analysis::DependencyModel dep(opts.dependency);
+  DporResult result;
+  DporStats& stats = result.stats;
+
+  std::vector<Node> nodes;    // exploration stack, one frame per step
+  std::vector<int> script;    // schedule prefix to replay next
+
+  while (true) {
+    if (stats.schedules >= opts.max_schedules) {
+      stats.exhausted = false;
+      break;
+    }
+    if (opts.on_execution) opts.on_execution(script, stats.schedules);
+
+    // --- Run one execution, replaying `script` then lowest-id. ---
+    DporPolicy policy(script);
+    fault::FaultInjectingPolicy faulty(policy, opts.plan);
+    SchedulePolicy& top = opts.plan.empty()
+                              ? static_cast<SchedulePolicy&>(policy)
+                              : static_cast<SchedulePolicy&>(faulty);
+    SimScheduler sim(top);
+    auto verifier = scenario(sim);
+    if (!opts.plan.empty()) faulty.attach(sim);
+    analysis::TraceRecorder recorder(opts.tee);
+    {
+      ScopedAccessObserver scope(&recorder);
+      sim.run();
+    }
+    const std::vector<int>& trace = sim.trace();
+    const std::vector<analysis::StepInfo> steps = recorder.finalize(trace);
+    const std::size_t n = trace.size();
+    ++stats.schedules;
+    stats.max_points = std::max<std::uint64_t>(stats.max_points, n);
+    COMPREG_CHECK(policy.enabled().size() == n,
+                  "policy saw %zu decisions but the trace has %zu steps",
+                  policy.enabled().size(), n);
+    if (stats.schedules == 1) {
+      // Naive bound: the number of complete interleavings the plain
+      // enumerator would visit — the multinomial coefficient of the
+      // per-process step counts, n! / prod(n_p!), in log10 via lgamma.
+      // (An estimate: under faults, step counts can vary by schedule.)
+      std::map<int, std::uint64_t> per_proc;
+      for (int p : trace) ++per_proc[p];
+      double log_e = std::lgamma(static_cast<double>(n) + 1.0);
+      for (const auto& [p, cnt] : per_proc) {
+        log_e -= std::lgamma(static_cast<double>(cnt) + 1.0);
+      }
+      stats.naive_log10 = log_e / std::numbers::ln10;
+    }
+
+    // --- Grow the stack along the new suffix. ---
+    COMPREG_CHECK(nodes.size() <= n,
+                  "replayed prefix (%zu) outlived the trace (%zu)",
+                  nodes.size(), n);
+    for (std::size_t i = nodes.size(); i < n; ++i) {
+      Node nd;
+      nd.enabled = policy.enabled()[i];
+      nd.chosen = trace[i];
+      nd.backtrack.push_back(trace[i]);
+      nd.done.push_back(trace[i]);
+      nodes.push_back(std::move(nd));
+    }
+    // Refresh per-node next-transition info along the whole path.
+    {
+      std::map<int, analysis::StepInfo> next;
+      for (std::size_t i = n; i-- > 0;) {
+        next[trace[i]] = steps[i];
+        nodes[i].next = next;
+      }
+    }
+
+    if (!verifier()) {
+      result.ok = false;
+      result.violation_schedule = trace;
+      break;
+    }
+
+    // --- Race analysis: happens-before via vector clocks over the ---
+    // --- dependency relation; schedule reversals as backtracks.    ---
+    int num_procs = 0;
+    for (int q : trace) num_procs = std::max(num_procs, q + 1);
+    if (!nodes.empty() && !nodes[0].enabled.empty()) {
+      num_procs = std::max(num_procs, nodes[0].enabled.back() + 1);
+    }
+    const std::size_t np = static_cast<std::size_t>(num_procs);
+    // clock[i][q] = number of q-steps happens-before-or-equal step i;
+    // stepnum[i] = 1-based index of step i within its process.
+    std::vector<std::vector<std::uint32_t>> clock(n);
+    std::vector<std::uint32_t> stepnum(n, 0);
+    std::vector<std::uint32_t> count(np, 0);
+    std::vector<int> last_of_proc(np, -1);
+    int last_universal = -1;
+    int last_global = -1;
+    struct CellState {
+      int last_write = -1;
+      std::map<int, int> last_read_by;  // proc -> step index
+    };
+    std::map<std::uint64_t, CellState> cells;
+    std::vector<int> cand;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const int p = trace[i];
+      const analysis::StepInfo& st = steps[i];
+      stepnum[i] = ++count[static_cast<std::size_t>(p)];
+
+      // Latest dependent predecessor per category.
+      cand.clear();
+      auto add_cand = [&cand](int j) {
+        if (j >= 0) add_unique(cand, j);
+      };
+      add_cand(last_of_proc[static_cast<std::size_t>(p)]);
+      add_cand(last_universal);
+      if (universal(st)) {
+        for (std::size_t q = 0; q < np; ++q) add_cand(last_of_proc[q]);
+      } else {
+        if (has_global(st)) add_cand(last_global);
+        for (const Access& a : st.accesses) {
+          CellState& cs = cells[a.decl.cell];
+          add_cand(cs.last_write);
+          if (a.kind == AccessKind::kWrite ||
+              dep.options().conservative_reads) {
+            for (const auto& [q, j] : cs.last_read_by) add_cand(j);
+          }
+        }
+      }
+
+      // Clock of step i = join of predecessors, plus itself.
+      std::vector<std::uint32_t> ci(np, 0);
+      for (int j : cand) {
+        const std::vector<std::uint32_t>& cj =
+            clock[static_cast<std::size_t>(j)];
+        for (std::size_t q = 0; q < np; ++q) ci[q] = std::max(ci[q], cj[q]);
+      }
+      ci[static_cast<std::size_t>(p)] = stepnum[i];
+
+      // A predecessor j of another process is a reversible race iff no
+      // other predecessor already covers it (i.e. the j -> i edge is
+      // happens-before-adjacent). Extra (non-adjacent) reversals are
+      // sound — only the *presence* of the latest one matters.
+      for (int j : cand) {
+        const int pj = trace[static_cast<std::size_t>(j)];
+        if (pj == p) continue;
+        bool covered = false;
+        for (int k : cand) {
+          if (k == j) continue;
+          if (clock[static_cast<std::size_t>(k)][static_cast<std::size_t>(
+                  pj)] >= stepnum[static_cast<std::size_t>(j)]) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        if (opts.depth_bound >= 0 && j >= opts.depth_bound) {
+          stats.depth_limited = true;
+          continue;
+        }
+        // Try process p (or, if p is not schedulable there, everyone)
+        // from the state before j, so that i's side runs first.
+        Node& nj = nodes[static_cast<std::size_t>(j)];
+        if (contains(nj.enabled, p)) {
+          if (!contains(nj.backtrack, p)) {
+            nj.backtrack.push_back(p);
+            ++stats.backtrack_points;
+          }
+        } else {
+          for (int q : nj.enabled) {
+            if (!contains(nj.backtrack, q)) {
+              nj.backtrack.push_back(q);
+              ++stats.backtrack_points;
+            }
+          }
+        }
+      }
+
+      // Update latest-per-category state.
+      clock[i] = std::move(ci);
+      last_of_proc[static_cast<std::size_t>(p)] = static_cast<int>(i);
+      if (universal(st)) last_universal = static_cast<int>(i);
+      if (has_global(st)) last_global = static_cast<int>(i);
+      for (const Access& a : st.accesses) {
+        CellState& cs = cells[a.decl.cell];
+        if (a.kind == AccessKind::kWrite) {
+          cs.last_write = static_cast<int>(i);
+          cs.last_read_by.clear();
+        } else {
+          cs.last_read_by[p] = static_cast<int>(i);
+        }
+      }
+    }
+
+    // --- Sleep sets along the current path. sleep[d] is the set of ---
+    // --- processes whose next transition from node d's state is    ---
+    // --- already covered by a fully explored sibling branch.       ---
+    std::vector<std::vector<int>> sleep(nodes.size() + 1);
+    if (opts.sleep_sets) {
+      for (std::size_t d = 0; d < nodes.size(); ++d) {
+        const Node& nd = nodes[d];
+        auto chosen_next = nd.next.find(nd.chosen);
+        std::vector<int> entering = sleep[d];
+        for (int q : nd.done) {
+          if (q != nd.chosen) add_unique(entering, q);
+        }
+        for (int q : entering) {
+          auto qn = nd.next.find(q);
+          // Unknown next transition, or a dependent one: q wakes up.
+          if (qn == nd.next.end() || chosen_next == nd.next.end()) continue;
+          if (!dep.dependent(qn->second, chosen_next->second)) {
+            sleep[d + 1].push_back(q);
+          }
+        }
+      }
+    }
+
+    // --- Pick the deepest node with an unexplored awake branch. ---
+    bool selected = false;
+    for (std::size_t d = nodes.size(); d-- > 0 && !selected;) {
+      Node& nd = nodes[d];
+      if (opts.sleep_sets) {
+        const std::vector<int> pending = nd.backtrack;
+        for (int q : pending) {
+          if (!contains(nd.done, q) && contains(sleep[d], q)) {
+            // Sleeping: every schedule it leads to is Mazurkiewicz-
+            // equivalent to one already explored from here.
+            ++stats.sleep_set_hits;
+            nd.done.push_back(q);
+          }
+        }
+      }
+      int pick = -1;
+      for (int q : nd.backtrack) {
+        if (!contains(nd.done, q) && (pick < 0 || q < pick)) pick = q;
+      }
+      if (pick >= 0) {
+        nd.chosen = pick;
+        nd.done.push_back(pick);
+        nodes.resize(d + 1);
+        script.clear();
+        script.reserve(nodes.size());
+        for (const Node& x : nodes) script.push_back(x.chosen);
+        selected = true;
+      }
+    }
+    if (!selected) break;  // schedule space exhausted
+  }
+  return result;
+}
+
+}  // namespace compreg::sched

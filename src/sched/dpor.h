@@ -1,0 +1,101 @@
+// Dynamic partial-order reduction (DPOR): stateless model checking of
+// the schedule space with backtrack sets and sleep sets.
+//
+// The naive enumerator (sched/exhaustive.h, now retained only as the
+// cross-validation oracle) explores every interleaving of a scenario's
+// schedule points — exponential in both process count and depth. DPOR
+// [Flanagan & Godefroid, POPL 2005] explores one representative per
+// Mazurkiewicz trace (equivalence class of executions under commuting
+// adjacent *independent* steps) plus whatever the dynamically computed
+// race reversals require: after each execution it finds every pair of
+// dependent, happens-before-adjacent steps of different processes and
+// schedules the reversed order from the earlier step's state; sleep
+// sets [Godefroid] additionally prune branches whose first step
+// commutes with everything explored since it went to sleep.
+//
+// Dependence is decided by analysis::DependencyModel from PR 2's
+// AccessLabels: two grants are dependent iff they touch the same cell
+// with at least one write (opaque grants — bare points, crash-consumed
+// grants, parks — and global-order cells such as the net send/poll
+// points are always dependent). docs/analysis.md gives the soundness
+// argument: under the SWMR discipline the conformance checker enforces,
+// every execution in a Mazurkiewicz class yields the same history up to
+// the checkers, so verifying one representative verifies the class.
+//
+// Faults: an optional FaultPlan is applied identically to every
+// explored schedule (crash points count per-process points, stalls
+// count global decisions — both deterministic per schedule), so a run
+// certifies "all schedules under this fault plan". Hang plans would
+// wedge every execution and are rejected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/dependency.h"
+#include "fault/fault_plan.h"
+#include "sched/sim_scheduler.h"
+
+namespace compreg::sched {
+
+// Builds one fresh instance of the scenario into `sim` (shared objects
+// constructed inside the callback, all processes spawned) and returns a
+// verifier invoked after run() completes. The verifier returns true
+// when that execution passed; returning false stops the exploration and
+// reports the execution's schedule as the violation witness.
+using DporScenario = std::function<std::function<bool()>(SimScheduler&)>;
+
+struct DporOptions {
+  std::uint64_t max_schedules = 1'000'000;
+  // Branch (insert backtrack points) only at trace positions < bound;
+  // < 0 means unbounded. When a race reversal lands beyond the bound
+  // the result is flagged depth_limited: bounded, NOT certified.
+  int depth_bound = -1;
+  bool sleep_sets = true;
+  analysis::DependencyOptions dependency;
+  // Applied identically to every explored schedule. Must not hang.
+  fault::FaultPlan plan;
+  // Receives every labeled access of every execution (the conformance
+  // analyzer); the engine's own TraceRecorder occupies the global
+  // observer slot and forwards.
+  AccessObserver* tee = nullptr;
+  // Called before each execution with the schedule prefix about to be
+  // replayed (the continuation past the prefix is deterministic:
+  // lowest-id enabled process) and the count of executions completed so
+  // far. Used for liveness reporting and watchdog artifacts.
+  std::function<void(const std::vector<int>& prefix, std::uint64_t done)>
+      on_execution;
+};
+
+struct DporStats {
+  std::uint64_t schedules = 0;        // executions run
+  std::uint64_t backtrack_points = 0; // race reversals scheduled
+  std::uint64_t sleep_set_hits = 0;   // branch candidates pruned asleep
+  std::uint64_t max_points = 0;       // longest execution seen
+  // log10 of the naive enumeration bound: the multinomial coefficient
+  // of the first execution's per-process step counts — the number of
+  // complete interleavings exhaustive::explore would visit.
+  double naive_log10 = 0.0;
+  bool exhausted = true;       // false when stopped by max_schedules
+  bool depth_limited = false;  // a reversal fell beyond depth_bound
+};
+
+struct DporResult {
+  DporStats stats;
+  bool ok = true;
+  // Full trace of the failing execution when !ok; replayable with
+  // ScriptPolicy (or verify_dpor --schedule).
+  std::vector<int> violation_schedule;
+
+  // Every reachable schedule (of the bounded space, under the given
+  // plan) was explored and passed.
+  bool certified() const {
+    return ok && stats.exhausted && !stats.depth_limited;
+  }
+};
+
+DporResult explore_dpor(const DporScenario& scenario,
+                        const DporOptions& opts = {});
+
+}  // namespace compreg::sched

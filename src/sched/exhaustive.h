@@ -6,6 +6,13 @@
 // deterministically (first runnable process). Each enumerated schedule
 // re-runs the scenario from scratch, so scenario state must be built
 // inside the callback.
+//
+// DEPRECATED for certification: sched/dpor.h explores the same space
+// with dynamic partial-order reduction (orders of magnitude fewer
+// schedules, no depth bound needed on small configs). This naive
+// enumerator is retained only as the oracle that DPOR is cross-checked
+// against (tests/analysis/dpor_cross_test.cpp) and as the baseline in
+// bench/bench_dpor.cpp; do not build new certification on it.
 #pragma once
 
 #include <cstdint>

@@ -28,7 +28,11 @@
 //
 // These registers take a schedule point per primitive access, so the
 // simulator interleaves *inside* them (unlike the production cells in
-// src/registers, which are one point per operation).
+// src/registers, which are one point per operation). Every point is
+// labeled with the instance's SWSR AccessLabel so the conformance
+// analyzer certifies the chain's single-writer/single-reader usage and
+// the DPOR engine (src/sched/dpor.h) can commute accesses to distinct
+// bits instead of treating them as opaque always-dependent steps.
 #pragma once
 
 #include <cstdint>
@@ -65,27 +69,30 @@ TheoryOps& theory_ops();
 // return an arbitrary bit.
 class SimSafeBit {
  public:
-  explicit SimSafeBit(bool initial) : value_(initial) {
+  explicit SimSafeBit(bool initial)
+      : access_("safe_bit", sched::Discipline::kSwsr, /*readers=*/1),
+        value_(initial) {
     account_register("safe_bit", 1, 1);
   }
 
   void write(bool v) {
     ++theory_ops().safe_bit_writes;
-    sched::point();  // begin: the register is now unstable
+    sched::point(access_.write());  // begin: the register is now unstable
     writing_ = true;
-    sched::point();  // commit
+    sched::point(access_.write());  // commit
     value_ = v;
     writing_ = false;
   }
 
   bool read() {
     ++theory_ops().safe_bit_reads;
-    sched::point();
+    sched::point(access_.read(0));
     if (writing_) return (flips_++ & 1) != 0;  // adversarial garbage
     return value_;
   }
 
  private:
+  sched::AccessLabel access_;
   bool value_;
   bool writing_ = false;
   std::uint64_t flips_ = 0;
@@ -96,7 +103,9 @@ class SimSafeBit {
 template <typename T>
 class SimRegularRegister {
  public:
-  explicit SimRegularRegister(const T& initial) : value_(initial) {
+  explicit SimRegularRegister(const T& initial)
+      : access_("swsr_regular", sched::Discipline::kSwsr, /*readers=*/1),
+        value_(initial) {
     // Register-count accounting only; sizeof(T) under-reports payloads
     // containing vectors, which is fine for counting purposes.
     account_register("swsr_regular", sizeof(T) * 8, 1);
@@ -104,22 +113,23 @@ class SimRegularRegister {
 
   void write(const T& v) {
     ++theory_ops().regular_writes;
-    sched::point();  // begin
+    sched::point(access_.write());  // begin
     pending_ = v;
     writing_ = true;
-    sched::point();  // commit
+    sched::point(access_.write());  // commit
     value_ = v;
     writing_ = false;
   }
 
   T read() {
     ++theory_ops().regular_reads;
-    sched::point();
+    sched::point(access_.read(0));
     if (writing_) return (flips_++ & 1) != 0 ? pending_ : value_;
     return value_;
   }
 
  private:
+  sched::AccessLabel access_;
   T value_;
   T pending_{};
   bool writing_ = false;
@@ -184,21 +194,24 @@ class SafeMValued {
 // four_slot.h for a construction where the difference is observable).
 class SimAtomicBit {
  public:
-  explicit SimAtomicBit(bool initial) : value_(initial) {
+  explicit SimAtomicBit(bool initial)
+      : access_("atomic_bit", sched::Discipline::kSwsr, /*readers=*/1),
+        value_(initial) {
     account_register("atomic_bit", 1, 1);
   }
 
   void write(bool v) {
-    sched::point();
+    sched::point(access_.write());
     value_ = v;
   }
 
   bool read() {
-    sched::point();
+    sched::point(access_.read(0));
     return value_;
   }
 
  private:
+  sched::AccessLabel access_;
   bool value_;
 };
 

@@ -46,7 +46,10 @@ template <typename T, typename Bit = SimAtomicBit>
 class SimFourSlot {
  public:
   explicit SimFourSlot(const T& initial)
-      : latest_(false), reading_(false) {
+      : data_access_("four_slot.data", sched::Discipline::kSwsr,
+                     /*readers=*/1),
+        latest_(false),
+        reading_(false) {
     slot_bit_[0] = std::make_unique<Bit>(false);
     slot_bit_[1] = std::make_unique<Bit>(false);
     for (auto& pair : data_) {
@@ -69,9 +72,12 @@ class SimFourSlot {
     // Vulnerable window, made visible to the scheduler: if the
     // four-slot discipline ever let the reader in here, the reader's
     // check would abort.
-    sched::point();
+    // One label covers all four slots: which slot a step touches is
+    // schedule-dependent, and slot exclusion is exactly the property
+    // under test — commuting two data-area steps would assume it.
+    sched::point(data_access_.write());
     s.writing = true;
-    sched::point();
+    sched::point(data_access_.write());
     s.value = item;
     s.writing = false;
     // Publish index then pair (order matters: the reader must not see
@@ -87,7 +93,7 @@ class SimFourSlot {
     reading_.write(rp != 0);
     const int ri = slot_bit_[rp]->read() ? 1 : 0;
     const DataSlot& s = data_[rp][ri];
-    sched::point();
+    sched::point(data_access_.read(0));
     COMPREG_CHECK(!s.writing,
                   "four-slot mechanism violated: reader entered a slot "
                   "the writer is writing");
@@ -100,6 +106,7 @@ class SimFourSlot {
     bool writing = false;
   };
 
+  sched::AccessLabel data_access_;
   Bit latest_;
   Bit reading_;
   std::unique_ptr<Bit> slot_bit_[2];

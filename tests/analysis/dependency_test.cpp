@@ -1,0 +1,140 @@
+#include "analysis/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace compreg::analysis {
+namespace {
+
+using sched::Access;
+using sched::AccessKind;
+using sched::AccessLabel;
+using sched::CellDecl;
+using sched::Discipline;
+
+StepInfo step(int proc, std::vector<Access> accesses) {
+  StepInfo s;
+  s.proc = proc;
+  s.accesses = std::move(accesses);
+  return s;
+}
+
+TEST(DependencyTest, SameCellNeedsAWrite) {
+  AccessLabel cell("dep.cell", Discipline::kSwmr, 2);
+  DependencyModel model;
+  EXPECT_TRUE(model.access_dependent(cell.write(), cell.write()));
+  EXPECT_TRUE(model.access_dependent(cell.write(), cell.read(0)));
+  EXPECT_TRUE(model.access_dependent(cell.read(1), cell.write()));
+  EXPECT_FALSE(model.access_dependent(cell.read(0), cell.read(1)));
+}
+
+TEST(DependencyTest, DistinctCellsAreIndependentEvenForWrites) {
+  AccessLabel a("dep.a", Discipline::kSwmr, 1);
+  AccessLabel b("dep.b", Discipline::kSwmr, 1);
+  DependencyModel model;
+  EXPECT_FALSE(model.access_dependent(a.write(), b.write()));
+  EXPECT_FALSE(model.access_dependent(a.write(), b.read(0)));
+}
+
+TEST(DependencyTest, ConservativeReadsMakeSameCellReadsDependent) {
+  AccessLabel cell("dep.cell", Discipline::kSwmr, 2);
+  AccessLabel other("dep.other", Discipline::kSwmr, 1);
+  DependencyOptions opts;
+  opts.conservative_reads = true;
+  DependencyModel model(opts);
+  EXPECT_TRUE(model.access_dependent(cell.read(0), cell.read(1)));
+  // Still cell-local: distinct cells stay independent.
+  EXPECT_FALSE(model.access_dependent(cell.read(0), other.read(0)));
+}
+
+TEST(DependencyTest, GlobalOrderCellsArePairwiseDependent) {
+  AccessLabel send("net.send", Discipline::kSwmr, 0, /*global_order=*/true);
+  AccessLabel poll("net.poll", Discipline::kSwmr, 0, /*global_order=*/true);
+  AccessLabel plain("dep.plain", Discipline::kSwmr, 1);
+  DependencyModel model;
+  // Distinct cells, reads only — but both global-order: dependent.
+  EXPECT_TRUE(model.access_dependent(send.read(), poll.read()));
+  EXPECT_TRUE(model.access_dependent(send.write(), poll.write()));
+  // Global-order vs a plain distinct cell stays independent.
+  EXPECT_FALSE(model.access_dependent(send.read(), plain.read(0)));
+}
+
+TEST(DependencyTest, UndeclaredCellIsUniversallyDependent) {
+  const Access undeclared{CellDecl{}, AccessKind::kRead, -1};
+  AccessLabel plain("dep.plain", Discipline::kSwmr, 1);
+  DependencyModel model;
+  EXPECT_TRUE(model.access_dependent(undeclared, plain.read(0)));
+  EXPECT_TRUE(model.access_dependent(plain.read(0), undeclared));
+}
+
+TEST(DependencyTest, StepsSameProcessAlwaysDependent) {
+  AccessLabel a("dep.a", Discipline::kSwmr, 1);
+  AccessLabel b("dep.b", Discipline::kSwmr, 1);
+  DependencyModel model;
+  // Program order: even touching unrelated cells.
+  EXPECT_TRUE(model.dependent(step(0, {a.read(0)}), step(0, {b.read(0)})));
+}
+
+TEST(DependencyTest, OpaqueStepsAreUniversallyDependent) {
+  AccessLabel a("dep.a", Discipline::kSwmr, 1);
+  DependencyModel model;
+  const StepInfo bare = step(0, {});  // bare point / crash / park
+  EXPECT_TRUE(bare.opaque());
+  EXPECT_TRUE(model.dependent(bare, step(1, {a.read(0)})));
+  EXPECT_TRUE(model.dependent(step(1, {a.read(0)}), bare));
+}
+
+TEST(DependencyTest, MultiAccessStepsDependIfAnyPairDoes) {
+  AccessLabel a("dep.a", Discipline::kSwmr, 1);
+  AccessLabel b("dep.b", Discipline::kSwmr, 1);
+  AccessLabel c("dep.c", Discipline::kSwmr, 1);
+  DependencyModel model;
+  EXPECT_TRUE(model.dependent(step(0, {a.read(0), b.write()}),
+                              step(1, {c.read(0), b.read(0)})));
+  EXPECT_FALSE(model.dependent(step(0, {a.read(0), b.write()}),
+                               step(1, {c.read(0), c.write()})));
+}
+
+TEST(DependencyTest, RecorderGroupsAccessesByGrant) {
+  AccessLabel a("dep.a", Discipline::kSwmr, 1);
+  AccessLabel b("dep.b", Discipline::kSwmr, 1);
+  TraceRecorder rec;
+  // Prologue (arrival phase): sched_pos 0.
+  rec.on_access(a.read(0), /*proc=*/0, /*sched_pos=*/0);
+  // Grant 1 (pos 1): one access. Grant 2 (pos 2): two accesses from a
+  // sub-model observing multiple cells under one grant. Grant 3: none
+  // (opaque).
+  rec.on_access(a.write(), 0, 1);
+  rec.on_access(a.read(0), 1, 2);
+  rec.on_access(b.read(0), 1, 2);
+  EXPECT_EQ(rec.prologue().size(), 1u);
+  const std::vector<int> trace = {0, 1, 0};
+  const std::vector<StepInfo> steps = rec.finalize(trace);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].proc, 0);
+  ASSERT_EQ(steps[0].accesses.size(), 1u);
+  EXPECT_EQ(steps[0].accesses[0].kind, AccessKind::kWrite);
+  EXPECT_EQ(steps[1].proc, 1);
+  EXPECT_EQ(steps[1].accesses.size(), 2u);
+  EXPECT_TRUE(steps[2].opaque());
+  // finalize() resets for the next execution.
+  EXPECT_TRUE(rec.prologue().empty());
+}
+
+TEST(DependencyTest, RecorderTeesToSecondObserver) {
+  struct Counter final : sched::AccessObserver {
+    int seen = 0;
+    void on_access(const sched::Access&, int, std::uint64_t) override {
+      ++seen;
+    }
+  } counter;
+  AccessLabel a("dep.a", Discipline::kSwmr, 1);
+  TraceRecorder rec(&counter);
+  rec.on_access(a.write(), 0, 1);
+  rec.on_access(a.read(0), 1, 2);
+  EXPECT_EQ(counter.seen, 2);
+}
+
+}  // namespace
+}  // namespace compreg::analysis

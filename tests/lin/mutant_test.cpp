@@ -4,92 +4,20 @@
 // proves nothing.
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <vector>
+#include <cstdint>
 
-#include "core/item.h"
-#include "core/snapshot.h"
+#include "../analysis/mutants.h"
 #include "lin/shrinking_checker.h"
 #include "lin/workload.h"
-#include "registers/hazard_cell.h"
 #include "sched/policy.h"
 
 namespace compreg {
 namespace {
 
-// Mutant 1: per-component collect with no coordination at all — the
-// "obvious" broken snapshot. Not linearizable: two writes landing
-// between the component reads produce torn snapshots.
-class NaiveCollectSnapshot final : public core::Snapshot<std::uint64_t> {
- public:
-  NaiveCollectSnapshot(int components, int num_readers, std::uint64_t init)
-      : c_(components), r_(num_readers) {
-    for (int k = 0; k < c_; ++k) {
-      regs_.push_back(
-          std::make_unique<registers::HazardCell<core::Item<std::uint64_t>>>(
-              r_, core::Item<std::uint64_t>{init, 0}));
-    }
-    seq_.assign(static_cast<std::size_t>(c_), 0);
-  }
-
-  int components() const override { return c_; }
-  int readers() const override { return r_; }
-
-  std::uint64_t update(int k, const std::uint64_t& v) override {
-    const std::uint64_t id = ++seq_[static_cast<std::size_t>(k)];
-    regs_[static_cast<std::size_t>(k)]->write(
-        core::Item<std::uint64_t>{v, id});
-    return id;
-  }
-
-  void scan_items(int reader,
-                  std::vector<core::Item<std::uint64_t>>& out) override {
-    out.resize(static_cast<std::size_t>(c_));
-    for (int k = 0; k < c_; ++k) {
-      out[static_cast<std::size_t>(k)] =
-          regs_[static_cast<std::size_t>(k)]->read(reader);
-    }
-  }
-
- private:
-  const int c_;
-  const int r_;
-  std::vector<
-      std::unique_ptr<registers::HazardCell<core::Item<std::uint64_t>>>>
-      regs_;
-  std::vector<std::uint64_t> seq_;
-};
-
-// Mutant 2: stale-cache reader — scans return a value cached from an
-// earlier scan every few calls. Violates Read Precedence / Proximity.
-class StaleCacheSnapshot final : public core::Snapshot<std::uint64_t> {
- public:
-  StaleCacheSnapshot(int components, int num_readers, std::uint64_t init)
-      : inner_(components, num_readers, init) {}
-
-  int components() const override { return inner_.components(); }
-  int readers() const override { return inner_.readers(); }
-
-  std::uint64_t update(int k, const std::uint64_t& v) override {
-    return inner_.update(k, v);
-  }
-
-  void scan_items(int reader,
-                  std::vector<core::Item<std::uint64_t>>& out) override {
-    ++calls_;
-    if (!cache_.empty() && calls_ % 3 == 0) {
-      out = cache_;  // stale!
-      return;
-    }
-    inner_.scan_items(reader, out);
-    cache_ = out;
-  }
-
- private:
-  NaiveCollectSnapshot inner_;
-  std::vector<core::Item<std::uint64_t>> cache_;
-  std::uint64_t calls_ = 0;
-};
+// The broken snapshots live in tests/analysis/mutants.h, shared with
+// the conformance and DPOR cross-validation suites.
+using mutants::NaiveCollectSnapshot;
+using mutants::StaleCacheSnapshot;
 
 // Drive a mutant under many random simulator schedules and report
 // whether any history fails the checker.

@@ -15,13 +15,14 @@
 // or simulated (a "hang:" plan wedges the scheduler on purpose) — into
 // a graceful exit with a replayable artifact instead of a stuck CI job.
 //
-// With --conformance, every execution additionally runs under the
-// protocol-conformance analyzer (src/analysis): the SWMR ownership
-// checker plus, on native runs, the vector-clock race detector. Any
-// finding is treated exactly like a linearizability violation — the
-// report is printed, the artifact gains a parseable conformance dump,
-// and the exit code is 1. A watchdog trip also dumps the conformance
-// report as of the hang, so a wedged run still yields analyzable data.
+// The protocol-conformance analyzer (src/analysis) observes every
+// execution: the SWMR ownership checker plus, on native runs, the
+// vector-clock race detector. With --conformance, any finding is
+// treated exactly like a linearizability violation — the report is
+// printed, the artifact gains a parseable conformance dump, and the
+// exit code is 1. A watchdog trip ALWAYS dumps the conformance report
+// as of the hang (whether or not --conformance gates findings), so a
+// wedged run still yields analyzable data.
 //
 // --impl net fuzzes the composite register built over the networked
 // substrate (src/net): every base cell is an ABD quorum-replicated
@@ -67,12 +68,6 @@
 #include <thread>
 
 #include "analysis/race.h"
-#include "baselines/afek_snapshot.h"
-#include "baselines/double_collect.h"
-#include "baselines/mutex_snapshot.h"
-#include "baselines/seqlock_snapshot.h"
-#include "baselines/unbounded_helping.h"
-#include "core/composite_register.h"
 #include "core/multi_writer.h"
 #include "fault/chaos.h"
 #include "fault/fault_plan.h"
@@ -83,179 +78,20 @@
 #include "lin/workload.h"
 #include "net/net_cell.h"
 #include "sched/policy.h"
-#include "theory/theory_cell.h"
 #include "util/rng.h"
+#include "verify_common.h"
 
 namespace {
 
 using compreg::core::Snapshot;
-
-constexpr int kExitViolation = 1;
-constexpr int kExitWatchdog = 2;
-constexpr int kExitUsage = 64;
-
-std::unique_ptr<Snapshot<std::uint64_t>> make_impl(const std::string& name,
-                                                   int c, int r) {
-  if (name == "anderson") {
-    return std::make_unique<compreg::core::CompositeRegister<std::uint64_t>>(
-        c, r, 0);
-  }
-  if (name == "fullstack") {
-    return std::make_unique<compreg::core::CompositeRegister<
-        std::uint64_t, compreg::theory::TheoryCell,
-        compreg::theory::TheoryCell>>(c, r, 0);
-  }
-  if (name == "afek") {
-    return std::make_unique<compreg::baselines::AfekSnapshot<std::uint64_t>>(
-        c, r, 0);
-  }
-  if (name == "unbounded") {
-    return std::make_unique<
-        compreg::baselines::UnboundedHelpingSnapshot<std::uint64_t>>(c, r, 0);
-  }
-  if (name == "doublecollect") {
-    return std::make_unique<
-        compreg::baselines::DoubleCollectSnapshot<std::uint64_t>>(c, r, 0);
-  }
-  if (name == "seqlock") {
-    return std::make_unique<
-        compreg::baselines::SeqlockSnapshot<std::uint64_t>>(c, r, 0);
-  }
-  if (name == "mutex") {
-    return std::make_unique<compreg::baselines::MutexSnapshot<std::uint64_t>>(
-        c, r, 0);
-  }
-  if (name == "net") {
-    // Caller must have a net::ScopedNetFabric installed; every base cell
-    // of the construction becomes one quorum-replicated register on it.
-    return std::make_unique<compreg::core::CompositeRegister<
-        std::uint64_t, compreg::net::NetCell, compreg::net::NetCell>>(c, r,
-                                                                      0);
-  }
-  return nullptr;
-}
-
-// What the fuzz loop is doing *right now*, shared with the watchdog
-// thread so a hang artifact can name the in-flight seed and the exact
-// (derived) plans it was running under — not just the fixed flags.
-struct LiveState {
-  std::mutex mu;
-  std::uint64_t seed = 0;
-  std::string plan;      // process fault plan in force this iteration
-  std::string net_plan;  // network fault plan in force this iteration
-
-  void set(std::uint64_t s, const std::string& p, const std::string& np) {
-    std::lock_guard<std::mutex> lock(mu);
-    seed = s;
-    plan = p;
-    net_plan = np;
-  }
-  void get(std::uint64_t& s, std::string& p, std::string& np) {
-    std::lock_guard<std::mutex> lock(mu);
-    s = seed;
-    p = plan;
-    np = net_plan;
-  }
-};
-
-struct Artifact {
-  std::string path = "verify_fuzz_failure.txt";
-  std::string config_line;
-};
-
-// Builds the single copy-pasteable command that replays one iteration:
-// the concrete per-iteration plans ride along explicitly, so the replay
-// does not depend on chaos-mode derivation flags.
-using ReplayFn = std::function<std::string(
-    std::uint64_t seed, const std::string& plan, const std::string& net_plan)>;
-
-// Writes a replayable failure artifact: the config, the failing seed,
-// the plans in force, the replay command, and (when available) the
-// offending history plus a parseable conformance dump.
-void write_artifact(const Artifact& artifact, const char* kind,
-                    std::uint64_t seed, const std::string& plan,
-                    const std::string& net_plan, const std::string& replay,
-                    const std::string& detail,
-                    const compreg::lin::History* history,
-                    const std::string& conformance_dump = std::string()) {
-  std::ofstream out(artifact.path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write artifact to %s\n",
-                 artifact.path.c_str());
-    return;
-  }
-  out << "# verify_fuzz " << kind << "\n";
-  out << "# " << artifact.config_line << "\n";
-  out << "# seed " << seed << "\n";
-  if (!plan.empty()) out << "# plan " << plan << "\n";
-  if (!net_plan.empty()) out << "# net-plan " << net_plan << "\n";
-  if (!replay.empty()) out << "# replay: " << replay << "\n";
-  if (!detail.empty()) out << "# " << detail << "\n";
-  if (history != nullptr) compreg::lin::dump_history(*history, out);
-  if (!conformance_dump.empty()) {
-    out << "# conformance report follows\n" << conformance_dump;
-  }
-  std::fprintf(stderr, "artifact written to %s\n", artifact.path.c_str());
-}
-
-// Hang detector: if the fuzz loop makes no progress for `timeout_sec`,
-// dump an artifact naming the in-flight seed, the plans it was running
-// under, a copy-pasteable replay command, and — when --conformance is
-// on — the analyzer's report of everything observed up to the hang.
-// Then _Exit(2). _Exit skips destructors on purpose — a wedged
-// simulator holds threads that can never be joined.
-class Watchdog {
- public:
-  Watchdog(unsigned timeout_sec, const Artifact& artifact,
-           const std::atomic<std::uint64_t>& progress, LiveState& live,
-           ReplayFn replay, std::function<std::string()> conformance_dump)
-      : timeout_sec_(timeout_sec) {
-    if (timeout_sec_ == 0) return;
-    std::thread([this, &artifact, &progress, &live,
-                 replay = std::move(replay),
-                 conformance_dump = std::move(conformance_dump)] {
-      std::uint64_t last = progress.load();
-      auto last_change = std::chrono::steady_clock::now();
-      for (;;) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
-        const std::uint64_t now_progress = progress.load();
-        if (now_progress != last) {
-          last = now_progress;
-          last_change = std::chrono::steady_clock::now();
-          continue;
-        }
-        const auto stalled = std::chrono::steady_clock::now() - last_change;
-        if (stalled >= std::chrono::seconds(timeout_sec_)) {
-          std::uint64_t seed = 0;
-          std::string plan;
-          std::string net_plan;
-          live.get(seed, plan, net_plan);
-          std::fprintf(stderr,
-                       "WATCHDOG: no progress for %u s, run is hung "
-                       "(seed %llu); exiting 2\n",
-                       timeout_sec_,
-                       static_cast<unsigned long long>(seed));
-          // The hung iteration's workload threads are parked in the
-          // scheduler, so reading the analysis session here is quiet.
-          const std::string dump =
-              conformance_dump ? conformance_dump() : std::string();
-          write_artifact(artifact, "watchdog timeout (hung run)", seed, plan,
-                         net_plan, replay(seed, plan, net_plan),
-                         "the iteration at this seed never completed; any "
-                         "conformance report below reflects events up to "
-                         "the hang",
-                         nullptr, dump);
-          std::fflush(stdout);
-          std::fflush(stderr);
-          std::_Exit(kExitWatchdog);
-        }
-      }
-    }).detach();
-  }
-
- private:
-  unsigned timeout_sec_;
-};
+using compreg::tools::Artifact;
+using compreg::tools::kExitUsage;
+using compreg::tools::kExitViolation;
+using compreg::tools::LiveState;
+using compreg::tools::make_impl;
+using compreg::tools::ReplayFn;
+using compreg::tools::Watchdog;
+using compreg::tools::write_artifact;
 
 }  // namespace
 
@@ -441,7 +277,8 @@ int main(int argc, char** argv) {
   // One copy-pasteable line that replays a single iteration. The
   // concrete plans are baked in, so chaos derivation flags drop out.
   const ReplayFn make_replay = [&](std::uint64_t s, const std::string& p,
-                                   const std::string& np) {
+                                   const std::string& np,
+                                   const std::string& /*schedule*/) {
     std::ostringstream cmd;
     cmd << "verify_fuzz --impl " << impl << " --components " << components
         << " --readers " << readers << " --ops " << ops << " --seed " << s
@@ -458,12 +295,10 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> progress{0};
   LiveState live;
   live.set(seed, plan_text, net_plan_text);
-  std::function<std::string()> watchdog_conf_dump;
-  if (conformance) {
-    watchdog_conf_dump = [&session] { return session.report().dump(); };
-  }
+  // The watchdog always dumps the analyzer's view of the hung iteration,
+  // whether or not --conformance gates findings.
   Watchdog watchdog(watchdog_sec, artifact, progress, live, make_replay,
-                    watchdog_conf_dump);
+                    [&session] { return session.report().dump(); });
 
   const bool sim_mode = !native && impl != "mw";
   std::uint64_t pending_ops_seen = 0;
@@ -507,12 +342,13 @@ int main(int argc, char** argv) {
     live.set(it_seed, plan.empty() ? std::string() : plan.to_string(),
              net_plan.empty() ? std::string() : net_plan.to_string());
     // Installed after construction (registers label only their
-    // operational accesses) and removed before report() below.
+    // operational accesses) and removed before report() below. The
+    // analyzer observes EVERY iteration — not just under --conformance —
+    // so a watchdog artifact always carries the report of the hang;
+    // --conformance only gates whether findings fail the run.
+    session.reset();
     std::optional<compreg::sched::ScopedAccessObserver> observe;
-    if (conformance) {
-      session.reset();
-      observe.emplace(&session);
-    }
+    observe.emplace(&session);
     if (impl == "mw") {
       compreg::core::MultiWriterSnapshot<std::uint64_t> snap(
           components, /*processes=*/3, readers, 0);
@@ -585,8 +421,9 @@ int main(int argc, char** argv) {
         }
         write_artifact(artifact, "conformance findings", it_seed,
                        plan.to_string(), net_plan.to_string(),
+                       /*schedule=*/std::string(),
                        make_replay(it_seed, plan.to_string(),
-                                   net_plan.to_string()),
+                                   net_plan.to_string(), std::string()),
                        creport.findings.front().to_string(), &h,
                        creport.dump());
         return kExitViolation;
@@ -612,10 +449,10 @@ int main(int argc, char** argv) {
       std::printf("# replayable history follows\n");
       compreg::lin::dump_history(h, std::cout);
       write_artifact(artifact, "violation", it_seed, plan.to_string(),
-                     net_plan.to_string(),
+                     net_plan.to_string(), /*schedule=*/std::string(),
                      make_replay(it_seed, plan.to_string(),
-                                 net_plan.to_string()),
-                     result.violation, &h);
+                                 net_plan.to_string(), std::string()),
+                     result.violation, &h, session.report().dump());
       return kExitViolation;
     }
     if (witness) {
@@ -627,9 +464,10 @@ int main(int argc, char** argv) {
         compreg::lin::dump_history(h, std::cout);
         write_artifact(artifact, "witness failure", it_seed,
                        plan.to_string(), net_plan.to_string(),
+                       /*schedule=*/std::string(),
                        make_replay(it_seed, plan.to_string(),
-                                   net_plan.to_string()),
-                       w.error, &h);
+                                   net_plan.to_string(), std::string()),
+                       w.error, &h, session.report().dump());
         return kExitViolation;
       }
     }
