@@ -1,16 +1,24 @@
 // E14 — Cost of the networked substrate: messages, network steps, and
 // robustness-layer activity per operation, swept over message-loss
-// rate and replica count (f), for (1) one raw ABD-replicated register
-// and (2) the full composite register running every base cell over the
-// simulated network.
+// rate, replica count (f), and crash–recovery cycles, for (1) one raw
+// ABD-replicated register and (2) the full composite register running
+// every base cell over the simulated network. The recovery columns
+// price the rejoin protocol: completed rejoins and catch-up
+// resynchronization messages per operation.
 //
 // The quantities are deterministic counts from the SimNet transport
-// (fixed seeds), so rows are exactly reproducible; wall-clock totals
-// are printed per table as context, not as the measurement.
+// (fixed seeds and handcrafted recovery cycles), so rows are exactly
+// reproducible; wall-clock totals are printed per table as context,
+// not as the measurement. With `--json FILE` every row is additionally
+// written as one JSON object (a single array in FILE) so downstream
+// tooling can diff runs.
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/composite_register.h"
 #include "lin/workload.h"
@@ -25,13 +33,22 @@ using compreg::net::NetCell;
 using compreg::net::NetConfig;
 using compreg::net::NetFaultPlan;
 using compreg::net::NetStats;
+using compreg::net::RecoverSpec;
 using compreg::net::ReplicatedRegister;
 using compreg::net::ScopedNetFabric;
 using compreg::net::SimNet;
 
-NetFaultPlan loss_plan(unsigned permille) {
+// Loss plus `cycles` staggered crash–recovery cycles on each minority
+// replica (nodes 1 and 2 — a quorum survives at every f we sweep).
+// after_msgs counts per incarnation, so fixed budgets give repeated
+// cycles throughout the run.
+NetFaultPlan fault_plan(unsigned loss_permille, unsigned cycles) {
   NetFaultPlan plan;
-  plan.drop_permille = permille;
+  plan.drop_permille = loss_permille;
+  for (unsigned c = 0; c < cycles; ++c) {
+    plan.recoveries.push_back(RecoverSpec{1, 40, 25});
+    plan.recoveries.push_back(RecoverSpec{2, 70, 25});
+  }
   return plan;
 }
 
@@ -39,26 +56,49 @@ double per_op(std::uint64_t total, std::uint64_t ops) {
   return ops == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(ops);
 }
 
-void print_header() {
-  std::printf("%3s %6s %8s %9s %9s %8s %7s %8s %8s %9s\n", "f", "loss",
-              "ops", "msgs/op", "polls/op", "retries", "unavail", "wrbacks",
-              "wbskips", "ms");
+struct Row {
+  const char* table;  // "raw" or "composite"
+  int f;
+  unsigned loss;
+  unsigned cycles;  // recovery cycles per minority replica
+  std::uint64_t ops;
+  NetStats st;
+  double ms;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> all;
+  return all;
 }
 
-void print_row(int f, unsigned loss, std::uint64_t ops, const NetStats& st,
-               double ms) {
-  std::printf("%3d %5u‰ %8" PRIu64 " %9.1f %9.1f %8" PRIu64 " %7" PRIu64
-              " %8" PRIu64 " %8" PRIu64 " %9.2f\n",
-              f, loss, ops, per_op(st.sent, ops), per_op(st.polls, ops),
-              st.client_retries, st.client_unavailable, st.client_writebacks,
-              st.client_writeback_skips, ms);
+void print_header() {
+  std::printf("%3s %6s %5s %8s %9s %9s %8s %7s %8s %8s %9s %9s\n", "f",
+              "loss", "rcyc", "ops", "msgs/op", "polls/op", "retries",
+              "unavail", "recov", "ctchp/op", "drpdown", "ms");
+}
+
+void print_row(const Row& r) {
+  std::printf("%3d %5u‰ %5u %8" PRIu64 " %9.1f %9.1f %8" PRIu64 " %7" PRIu64
+              " %8" PRIu64 " %8.2f %8" PRIu64 " %9.2f\n",
+              r.f, r.loss, r.cycles, r.ops, per_op(r.st.sent, r.ops),
+              per_op(r.st.polls, r.ops), r.st.client_retries,
+              r.st.client_unavailable, r.st.replica_recoveries,
+              per_op(r.st.catchup_msgs, r.ops), r.st.dropped_down, r.ms);
+}
+
+void record(const char* table, int f, unsigned loss, unsigned cycles,
+            std::uint64_t ops, const NetStats& st, double ms) {
+  const Row r{table, f, loss, cycles, ops, st, ms};
+  rows().push_back(r);
+  print_row(r);
 }
 
 // Part 1: one raw replicated register, sequential writer + reader.
-void bench_raw(int f, unsigned loss, std::uint64_t ops_per_side) {
+void bench_raw(int f, unsigned loss, unsigned cycles,
+               std::uint64_t ops_per_side) {
   NetConfig cfg;
   cfg.f = f;
-  SimNet net(cfg.replicas(), loss_plan(loss), /*seed=*/42);
+  SimNet net(cfg.replicas(), fault_plan(loss, cycles), /*seed=*/42);
   ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0, "bench");
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t completed = 0;
@@ -69,15 +109,15 @@ void bench_raw(int f, unsigned loss, std::uint64_t ops_per_side) {
   const auto t1 = std::chrono::steady_clock::now();
   const double ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
-  print_row(f, loss, completed, net.stats(), ms);
+  record("raw", f, loss, cycles, completed, net.stats(), ms);
 }
 
 // Part 2: the composite register (C writers, R readers) with every
 // base cell ABD-replicated, under the deterministic simulator.
-void bench_composite(int f, unsigned loss, int ops_each) {
+void bench_composite(int f, unsigned loss, unsigned cycles, int ops_each) {
   NetConfig cfg;
   cfg.f = f;
-  ScopedNetFabric fab(cfg, loss_plan(loss), /*seed=*/42);
+  ScopedNetFabric fab(cfg, fault_plan(loss, cycles), /*seed=*/42);
   compreg::core::CompositeRegister<std::uint64_t, NetCell, NetCell> snap(
       /*components=*/2, /*readers=*/2, 0);
   compreg::sched::RandomPolicy policy(/*seed=*/7);
@@ -93,24 +133,79 @@ void bench_composite(int f, unsigned loss, int ops_each) {
   // Top-level snapshot operations (update/scan), the unit a user pays.
   const std::uint64_t ops = static_cast<std::uint64_t>(2 * ops_each) +
                             static_cast<std::uint64_t>(2 * ops_each);
-  print_row(f, loss, ops, fab.fabric().net().stats(), ms);
+  record("composite", f, loss, cycles, ops, fab.fabric().net().stats(), ms);
+}
+
+int write_json(const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_net: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows().size(); ++i) {
+    const Row& r = rows()[i];
+    std::fprintf(
+        out,
+        "  {\"experiment\":\"E14\",\"table\":\"%s\",\"f\":%d,"
+        "\"loss_permille\":%u,\"recover_cycles\":%u,\"ops\":%" PRIu64
+        ",\"sent\":%" PRIu64 ",\"delivered\":%" PRIu64 ",\"polls\":%" PRIu64
+        ",\"msgs_per_op\":%.3f,\"polls_per_op\":%.3f,\"retries\":%" PRIu64
+        ",\"unavailable\":%" PRIu64 ",\"writebacks\":%" PRIu64
+        ",\"writeback_skips\":%" PRIu64 ",\"recoveries\":%" PRIu64
+        ",\"recoveries_per_op\":%.4f,\"catchup_msgs\":%" PRIu64
+        ",\"catchup_per_op\":%.3f,\"dropped_down\":%" PRIu64
+        ",\"ms\":%.2f}%s\n",
+        r.table, r.f, r.loss, r.cycles, r.ops, r.st.sent, r.st.delivered,
+        r.st.polls, per_op(r.st.sent, r.ops), per_op(r.st.polls, r.ops),
+        r.st.client_retries, r.st.client_unavailable, r.st.client_writebacks,
+        r.st.client_writeback_skips, r.st.replica_recoveries,
+        per_op(r.st.replica_recoveries, r.ops), r.st.catchup_msgs,
+        per_op(r.st.catchup_msgs, r.ops), r.st.dropped_down, r.ms,
+        i + 1 < rows().size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("\nwrote %zu rows to %s\n", rows().size(), path);
+  return 0;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E14: networked substrate cost vs loss rate and replica "
-              "count\n");
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_net [--json FILE]\n");
+      return 64;
+    }
+  }
+
+  std::printf("E14: networked substrate cost vs loss rate, replica count, "
+              "and crash-recovery cycles\n");
   std::printf("(msgs/op counts every send, including dropped and "
               "duplicated ones;\n polls/op is network steps driven by the "
-              "client retry layer)\n\n");
+              "client retry layer;\n recov = completed rejoins, ctchp/op = "
+              "catch-up resync messages per op)\n\n");
 
   std::printf("-- raw ABD register: sequential write+read pairs, 1 writer "
               "+ 1 reader --\n");
   print_header();
   for (int f : {1, 2}) {
     for (unsigned loss : {0u, 10u, 100u}) {
-      bench_raw(f, loss, /*ops_per_side=*/2000);
+      bench_raw(f, loss, /*cycles=*/0, /*ops_per_side=*/2000);
+    }
+  }
+
+  std::printf("\n-- raw ABD register under crash-recovery churn --\n");
+  print_header();
+  for (int f : {1, 2}) {
+    for (unsigned loss : {0u, 100u}) {
+      for (unsigned cycles : {4u, 16u}) {
+        bench_raw(f, loss, cycles, /*ops_per_side=*/2000);
+      }
     }
   }
 
@@ -119,13 +214,23 @@ int main() {
   print_header();
   for (int f : {1, 2}) {
     for (unsigned loss : {0u, 10u, 100u}) {
-      bench_composite(f, loss, /*ops_each=*/8);
+      bench_composite(f, loss, /*cycles=*/0, /*ops_each=*/8);
     }
   }
 
-  std::printf("\nops for the composite table are top-level update/scan "
+  std::printf("\n-- composite register under crash-recovery churn --\n");
+  print_header();
+  for (int f : {1, 2}) {
+    for (unsigned cycles : {4u, 16u}) {
+      bench_composite(f, /*loss=*/100, cycles, /*ops_each=*/8);
+    }
+  }
+
+  std::printf("\nops for the composite tables are top-level update/scan "
               "calls; each one\nfans out across the construction's base "
               "registers, so msgs/op measures\nthe construction's whole "
               "network footprint per user-visible operation.\n");
+
+  if (json_path != nullptr) return write_json(json_path);
   return 0;
 }

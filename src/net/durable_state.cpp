@@ -1,0 +1,74 @@
+#include "net/durable_state.h"
+
+#include <sstream>
+
+namespace compreg::net {
+
+DurableMedium::DurableMedium()
+    : persist_access_("net.persist", sched::Discipline::kMrmw, /*readers=*/0,
+                      /*global_order=*/true) {}
+
+void DurableMedium::persist(std::uint64_t cell, const char* /*owner*/,
+                            int node, std::uint64_t ts) {
+  ++stats_.persists;
+  // Position the fsync in the conformance access stream. Persists run
+  // inside delivery closures, so like Simpson's sub-model registers
+  // they are observed without taking an extra schedule point — one
+  // poll stays one atomic network step.
+  sched::observe(persist_access_.write());
+  std::uint64_t& durable = ledger_[{cell, node}];
+  if (ts > durable) durable = ts;
+}
+
+void DurableMedium::note_reload(std::uint64_t /*cell*/, int /*node*/) {
+  ++stats_.reloads;
+}
+
+std::uint64_t DurableMedium::durable_ts(std::uint64_t cell, int node) const {
+  const auto it = ledger_.find({cell, node});
+  return it == ledger_.end() ? 0 : it->second;
+}
+
+void DurableMedium::audit_ack(std::uint64_t cell, const char* owner, int node,
+                              std::uint64_t acked_ts) {
+  const std::uint64_t durable = durable_ts(cell, node);
+  if (acked_ts <= durable) return;
+  std::ostringstream os;
+  os << "replica " << node << " acked ts " << acked_ts
+     << " with durable ts only " << durable
+     << " (a crash now forgets an acknowledged write)";
+  add_finding("ack-before-persist", cell, owner, node, os.str());
+}
+
+void DurableMedium::audit_reply(std::uint64_t cell, const char* owner,
+                                int node, std::uint64_t reply_ts) {
+  const std::uint64_t durable = durable_ts(cell, node);
+  if (reply_ts >= durable) return;
+  std::ostringstream os;
+  os << "replica " << node << " served ts " << reply_ts
+     << " below its own durable ts " << durable
+     << " (rejoined without reloading/catching up)";
+  add_finding("amnesiac-reply", cell, owner, node, os.str());
+}
+
+void DurableMedium::add_finding(const char* kind, std::uint64_t cell,
+                                const char* owner, int node,
+                                std::string detail) {
+  // One finding per (kind, cell, node): the first occurrence is the
+  // actionable one; repeats of a systematic bug would drown the report.
+  for (const analysis::Finding& have : report_.findings) {
+    if (have.kind == kind && have.cell == cell && have.proc_a == node) {
+      return;
+    }
+  }
+  ++report_.counters.findings;
+  analysis::Finding finding;
+  finding.kind = kind;
+  finding.cell = cell;
+  finding.owner = owner;
+  finding.proc_a = node;  // the offending replica node, not a process id
+  finding.detail = std::move(detail);
+  report_.findings.push_back(std::move(finding));
+}
+
+}  // namespace compreg::net

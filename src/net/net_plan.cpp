@@ -82,6 +82,10 @@ std::string NetFaultPlan::to_string() const {
     sep();
     os << "crash:" << c.node << '@' << c.after_msgs;
   }
+  for (const RecoverSpec& r : recoveries) {
+    sep();
+    os << "recover:" << r.node << '@' << r.after_msgs << '+' << r.downtime;
+  }
   return os.str();
 }
 
@@ -113,6 +117,12 @@ std::optional<NetFaultPlan> NetFaultPlan::parse(const std::string& text) {
       std::uint64_t msgs = 0;
       if (!parse_spec_body(body, node, msgs, nullptr)) return std::nullopt;
       plan.crashes.push_back(ReplicaCrashSpec{node, msgs});
+    } else if (kind == "recover") {
+      int node = 0;
+      std::uint64_t msgs = 0;
+      std::uint64_t down = 0;
+      if (!parse_spec_body(body, node, msgs, &down)) return std::nullopt;
+      plan.recoveries.push_back(RecoverSpec{node, msgs, down});
     } else {
       return std::nullopt;
     }
@@ -124,7 +134,8 @@ NetFaultPlan NetFaultPlan::random(Rng& rng, int replicas,
                                   std::uint64_t est_steps,
                                   unsigned loss_permille,
                                   unsigned partition_permille,
-                                  unsigned crash_permille) {
+                                  unsigned crash_permille,
+                                  unsigned recover_permille) {
   NetFaultPlan plan;
   if (est_steps == 0) est_steps = 1;
   plan.drop_permille = loss_permille;
@@ -155,6 +166,22 @@ NetFaultPlan NetFaultPlan::random(Rng& rng, int replicas,
   for (int n = 0; n < replicas; ++n) {
     if (crash_permille != 0 && rng.chance(crash_permille, 1000)) {
       plan.crashes.push_back(ReplicaCrashSpec{n, rng.below(est_steps)});
+    }
+  }
+  for (int n = 0; n < replicas; ++n) {
+    if (recover_permille == 0 || !rng.chance(recover_permille, 1000)) {
+      continue;
+    }
+    // 1–2 crash–downtime–rejoin cycles per chosen replica. Budgets are
+    // short relative to est_steps so a cycle actually completes within
+    // the run and the rejoin protocol gets exercised, not just armed.
+    const std::uint64_t cycles = 1 + rng.below(2);
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+      RecoverSpec spec;
+      spec.node = n;
+      spec.after_msgs = rng.below(est_steps / 8 + 1);
+      spec.downtime = 1 + rng.below(est_steps / 6 + 1);
+      plan.recoveries.push_back(spec);
     }
   }
   return plan;

@@ -21,6 +21,16 @@
 //   crash n @ m      replica node n processes exactly m messages and
 //                    then crash-stops: every later delivery to it is
 //                    dropped (m = 0: dead from the start).
+//   recover n @ m + d  one crash–recovery cycle: replica node n
+//                    processes m messages (counted since its last
+//                    (re)start), crashes, stays down for d network
+//                    steps — deliveries to it are eaten meanwhile —
+//                    then rejoins and resumes receiving. Repeated
+//                    specs for the same node queue up as successive
+//                    cycles, in plan order. Unlike `crash`, the node's
+//                    volatile state is what its protocol makes of it:
+//                    the replicated register reloads durable state and
+//                    resynchronizes on the SimNet rejoin hook.
 //
 // All probabilistic choices are drawn from the SimNet's own seeded RNG,
 // so (net seed, plan, schedule) replays a scenario exactly.
@@ -29,9 +39,9 @@
 // specs of the same kind override earlier ones):
 //   drop:<permille> | delay:<permille>+<maxsteps> | dup:<permille>
 //   | reorder:<permille> | partition:<step>+<len>@<node>[.<node>]*
-//   | crash:<node>@<msgs>
-// e.g. "drop:100,delay:200+6,partition:40+200@0.1,crash:2@25".
-// parse() and to_string() round-trip.
+//   | crash:<node>@<msgs> | recover:<node>@<msgs>+<downsteps>
+// e.g. "drop:100,delay:200+6,partition:40+200@0.1,crash:2@25,
+// recover:0@12+40". parse() and to_string() round-trip.
 #pragma once
 
 #include <cstdint>
@@ -46,17 +56,32 @@ namespace compreg::net {
 struct DelaySpec {
   unsigned permille = 0;
   std::uint64_t max_steps = 0;  // extra delay drawn uniform in [1, max]
+
+  bool operator==(const DelaySpec&) const = default;
 };
 
 struct PartitionSpec {
   std::uint64_t at_step = 0;   // first network step of the partition
   std::uint64_t duration = 0;  // steps until it heals
   std::vector<int> group;      // isolated node group (sorted, unique)
+
+  bool operator==(const PartitionSpec&) const = default;
 };
 
 struct ReplicaCrashSpec {
   int node = 0;
   std::uint64_t after_msgs = 0;  // messages processed before the crash
+
+  bool operator==(const ReplicaCrashSpec&) const = default;
+};
+
+struct RecoverSpec {
+  int node = 0;
+  std::uint64_t after_msgs = 0;  // msgs since last (re)start, then crash
+  std::uint64_t downtime = 0;    // network steps down before the rejoin
+                                 // (SimNet clamps 0 to 1)
+
+  bool operator==(const RecoverSpec&) const = default;
 };
 
 struct NetFaultPlan {
@@ -66,10 +91,14 @@ struct NetFaultPlan {
   unsigned reorder_permille = 0;
   std::vector<PartitionSpec> partitions;
   std::vector<ReplicaCrashSpec> crashes;
+  std::vector<RecoverSpec> recoveries;
+
+  bool operator==(const NetFaultPlan&) const = default;
 
   bool empty() const {
     return drop_permille == 0 && delay.permille == 0 && dup_permille == 0 &&
-           reorder_permille == 0 && partitions.empty() && crashes.empty();
+           reorder_permille == 0 && partitions.empty() && crashes.empty() &&
+           recoveries.empty();
   }
 
   std::string to_string() const;
@@ -79,13 +108,16 @@ struct NetFaultPlan {
   // message loss fixed at `loss_permille`, light random delay/dup/
   // reorder, one partition window with probability partition_permille/
   // 1000 (random nonempty proper subgroup of the replicas — minority
-  // groups degrade latency, majority groups cost quorum), and each
-  // replica crash-stopping with probability crash_permille/1000 after a
-  // uniform number of processed messages. Deterministic in `rng`.
+  // groups degrade latency, majority groups cost quorum), each replica
+  // crash-stopping with probability crash_permille/1000 after a uniform
+  // number of processed messages, and — the recovery dimension — each
+  // replica entering 1–2 crash–downtime–rejoin cycles with probability
+  // recover_permille/1000. Deterministic in `rng`.
   static NetFaultPlan random(Rng& rng, int replicas, std::uint64_t est_steps,
                              unsigned loss_permille,
                              unsigned partition_permille,
-                             unsigned crash_permille);
+                             unsigned crash_permille,
+                             unsigned recover_permille = 0);
 };
 
 }  // namespace compreg::net

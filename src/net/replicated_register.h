@@ -15,6 +15,17 @@
 // handlers are idempotent (adopt iff ts is newer), so duplicated or
 // reordered messages are harmless.
 //
+// Replicas live in the crash-*recovery* model (Imbs–Mostéfaoui–
+// Perrin–Raynal): a NetFaultPlan `recover` cycle takes a replica down
+// and brings it back, and atomicity survives because the replica obeys
+// the durability discipline — every acknowledged (timestamp, value) is
+// persisted to its DurableRecord (net/durable_state.h) BEFORE the ack
+// leaves, and a rejoining replica reloads that stable state, catches
+// up from a read quorum (self + f distinct peers, which intersects
+// every completed write's ack quorum), and only then serves again.
+// NetConfig::amnesia seeds the two discipline violations
+// (ack-before-persist, blank rejoin) for certification runs.
+//
 // The client-side robustness layer makes every phase bounded: each
 // attempt broadcasts to all replicas and polls the network for at most
 // `timeout_polls` steps; failed attempts re-send after a bounded
@@ -42,6 +53,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/durable_state.h"
 #include "net/sim_net.h"
 #include "sched/access.h"
 #include "sched/schedule_point.h"
@@ -61,6 +73,20 @@ struct UnavailableError : sched::ProcessParked {
   const char* op;  // "write", "read-query", or "read-writeback"
 };
 
+// Seeded durability mutants for certification runs (tests, verify
+// tools). Each one breaks the crash-recovery discipline in a way the
+// durability auditor and the crash-aware linearizability checkers must
+// flag; production configs keep kNone.
+enum class Amnesia : std::uint8_t {
+  kNone = 0,
+  // Replica acknowledges STOREs without persisting first: a crash
+  // between ack and persist forgets an acknowledged write.
+  kAckBeforePersist,
+  // Rejoining replica serves immediately from a blank slate: no
+  // durable reload, no quorum catch-up.
+  kBlankRejoin,
+};
+
 // Client-side robustness knobs. All quantities are network polls
 // (= schedule points while waiting), so every bound is deterministic.
 struct NetConfig {
@@ -71,10 +97,30 @@ struct NetConfig {
   unsigned backoff_cap = 32;    // upper bound on one backoff window
   bool writeback_skip_uniform = true;  // skip phase 2 on agreeing quorum
   std::uint64_t jitter_seed = 0x9e7c0ffeeull;
+  Amnesia amnesia = Amnesia::kNone;  // certification-only seeded fault
 
   int replicas() const { return 2 * f + 1; }
   int quorum() const { return f + 1; }
 };
+
+// One bounded exponential backoff window, in polls: min(cap, base *
+// 2^attempt) plus deterministic jitter in [0, window/2]. Factored out
+// of quorum_phase so the overflow behavior is unit-testable: for large
+// attempt counts the shift would overflow (or is outright UB at
+// attempt >= 64), so the window saturates at `cap` instead. Consumes
+// exactly one draw from `jitter` — replay-stable.
+inline std::uint64_t backoff_window(unsigned base, unsigned cap,
+                                    unsigned attempt, Rng& jitter) {
+  std::uint64_t window = cap;
+  const std::uint64_t wide = static_cast<std::uint64_t>(base);
+  if (base == 0) {
+    window = 0;
+  } else if (attempt < 64 && ((wide << attempt) >> attempt) == wide) {
+    window = std::min<std::uint64_t>(cap, wide << attempt);
+  }
+  window += jitter.below(window / 2 + 1);
+  return window;
+}
 
 template <typename T>
 class ReplicatedRegister {
@@ -88,18 +134,29 @@ class ReplicatedRegister {
         cfg_(cfg),
         access_(label, sched::Discipline::kSwmr, readers) {
     COMPREG_CHECK(cfg.f >= 1, "need f >= 1 (2f+1 replicas)");
+    COMPREG_CHECK(cfg.f <= 31, "catch-up reply mask holds 64 replicas");
     COMPREG_CHECK(readers >= 1, "need at least one reader slot");
     COMPREG_CHECK(net.replicas() == cfg.replicas(),
                   "SimNet has %d replica nodes, NetConfig wants %d",
                   net.replicas(), cfg.replicas());
     replicas_.assign(static_cast<std::size_t>(cfg.replicas()),
                      Replica{0, initial});
+    durable_.reserve(static_cast<std::size_t>(cfg.replicas()));
+    for (int r = 0; r < cfg.replicas(); ++r) {
+      durable_.emplace_back(net.durable(), access_.cell(), label, r,
+                            initial);
+    }
+    initial_ = std::move(initial);
+    hook_token_ =
+        net_.add_recover_hook([this](int node) { on_recover(node); });
     writer_ = make_endpoint();
     for (int j = 0; j < readers; ++j) readers_.push_back(make_endpoint());
     // One logical MRSW register; physically 2f+1 replicated copies.
     account_register(label, payload_bits, readers,
                      static_cast<std::uint64_t>(cfg.replicas()));
   }
+
+  ~ReplicatedRegister() { net_.remove_recover_hook(hook_token_); }
 
   ReplicatedRegister(const ReplicatedRegister&) = delete;
   ReplicatedRegister& operator=(const ReplicatedRegister&) = delete;
@@ -176,12 +233,31 @@ class ReplicatedRegister {
   const T& replica_val(int r) const {
     return replicas_[static_cast<std::size_t>(r)].val;
   }
+  // Stable-storage view of one replica (what a crash cannot erase).
+  std::uint64_t durable_ts(int r) const {
+    return durable_[static_cast<std::size_t>(r)].ts();
+  }
+  const T& durable_val(int r) const {
+    return durable_[static_cast<std::size_t>(r)].value();
+  }
+  // False while the replica is mid-rejoin (up, but not yet caught up).
+  bool replica_serving(int r) const {
+    return replicas_[static_cast<std::size_t>(r)].serving;
+  }
   std::uint64_t write_ts() const { return write_ts_; }
 
  private:
   struct Replica {
     std::uint64_t ts = 0;
     T val;
+    // Rejoin protocol state. `serving` drops at the start of a catch-up
+    // round and returns once a read quorum (self + f distinct peers)
+    // has been folded in; a non-serving replica ignores client traffic
+    // (the retry layer absorbs the silence as transient loss).
+    bool serving = true;
+    std::uint64_t sync_op = 0;     // catch-up round tag (incarnation)
+    std::uint64_t sync_mask = 0;   // distinct peers heard this round
+    int sync_replies = 0;
   };
   struct Reply {
     int replica = -1;
@@ -207,16 +283,26 @@ class ReplicatedRegister {
     return ep;
   }
 
-  // STORE(ts, value): adopt-if-newer, always acknowledge the requested
-  // timestamp. Serves both writer broadcasts and reader write-backs.
+  // STORE(ts, value): adopt-if-newer, persist, then acknowledge the
+  // requested timestamp. Serves both writer broadcasts and reader
+  // write-backs. The durability rule — stable storage is written
+  // BEFORE the ack leaves — is what makes a later crash–recover cycle
+  // unable to forget an acknowledged write; the kAckBeforePersist
+  // mutant deletes exactly that line. A replica mid-rejoin stays
+  // silent (the client retry layer reads that as transient loss).
   void send_store(Endpoint& ep, int r, std::uint64_t op, std::uint64_t ts,
                   const T& value) {
     net_.send(ep.node, r, [this, &ep, r, op, ts, value] {
       Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (!rep.serving) return;
       if (ts > rep.ts) {
         rep.ts = ts;
         rep.val = value;
       }
+      if (cfg_.amnesia != Amnesia::kAckBeforePersist) {
+        durable_[static_cast<std::size_t>(r)].persist(rep.ts, rep.val);
+      }
+      net_.durable().audit_ack(access_.cell(), access_.decl().owner, r, ts);
       net_.send(r, ep.node,
                 [&ep, r, op, ts] { ep.inbox.push_back(Reply{r, op, ts, T{}}); });
     });
@@ -226,12 +312,68 @@ class ReplicatedRegister {
   void send_query(Endpoint& ep, int r, std::uint64_t op) {
     net_.send(ep.node, r, [this, &ep, r, op] {
       const Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (!rep.serving) return;
       const std::uint64_t ts = rep.ts;
       const T val = rep.val;
+      net_.durable().audit_reply(access_.cell(), access_.decl().owner, r,
+                                 ts);
       net_.send(r, ep.node, [&ep, r, op, ts, val] {
         ep.inbox.push_back(Reply{r, op, ts, val});
       });
     });
+  }
+
+  // SimNet rejoin hook: replica `node` just came back from a crash–
+  // downtime cycle. The crash-recovery discipline: (1) reload stable
+  // storage, (2) resynchronize from a read quorum — self plus f
+  // distinct peers, which intersects every completed write's ack
+  // quorum — and only then (3) serve again. The kBlankRejoin mutant
+  // skips all three and serves a blank slate immediately.
+  void on_recover(int node) {
+    Replica& rep = replicas_[static_cast<std::size_t>(node)];
+    ++rep.sync_op;  // invalidates catch-up replies to older incarnations
+    if (cfg_.amnesia == Amnesia::kBlankRejoin) {
+      rep.ts = 0;
+      rep.val = initial_;
+      rep.serving = true;
+      return;
+    }
+    DurableRecord<T>& dur = durable_[static_cast<std::size_t>(node)];
+    dur.reload();
+    rep.ts = dur.ts();
+    rep.val = dur.value();
+    rep.serving = false;
+    rep.sync_mask = 0;
+    rep.sync_replies = 0;
+    const std::uint64_t op = rep.sync_op;
+    const int n = cfg_.replicas();
+    for (int r = 0; r < n; ++r) {
+      if (r == node) continue;
+      ++net_.stats().catchup_msgs;
+      net_.send(node, r, [this, node, r, op] {
+        const Replica& peer = replicas_[static_cast<std::size_t>(r)];
+        if (!peer.serving) return;
+        const std::uint64_t ts = peer.ts;
+        const T val = peer.val;
+        net_.durable().audit_reply(access_.cell(), access_.decl().owner, r,
+                                   ts);
+        ++net_.stats().catchup_msgs;
+        net_.send(r, node, [this, node, r, op, ts, val] {
+          Replica& self = replicas_[static_cast<std::size_t>(node)];
+          if (self.serving || self.sync_op != op) return;
+          if (ts > self.ts) {
+            self.ts = ts;
+            self.val = val;
+          }
+          durable_[static_cast<std::size_t>(node)].persist(self.ts,
+                                                           self.val);
+          const std::uint64_t bit = 1ull << static_cast<unsigned>(r);
+          if ((self.sync_mask & bit) != 0) return;  // dup: count peers once
+          self.sync_mask |= bit;
+          if (++self.sync_replies + 1 >= cfg_.quorum()) self.serving = true;
+        });
+      });
+    }
   }
 
   // Collects >= quorum distinct-replica replies for a fresh operation
@@ -254,10 +396,8 @@ class ReplicatedRegister {
       if (attempt + 1 == cfg_.max_attempts) break;
       // Bounded exponential backoff with deterministic jitter. Backoff
       // polls still drive the network, so a late quorum short-circuits.
-      std::uint64_t window = std::min<std::uint64_t>(
-          cfg_.backoff_cap, static_cast<std::uint64_t>(cfg_.backoff_base)
-                                << attempt);
-      window += ep.jitter.below(window / 2 + 1);
+      const std::uint64_t window = backoff_window(
+          cfg_.backoff_base, cfg_.backoff_cap, attempt, ep.jitter);
       for (std::uint64_t i = 0; i < window; ++i) {
         ++net_.stats().client_backoff_polls;
         net_.poll();
@@ -287,7 +427,10 @@ class ReplicatedRegister {
   SimNet& net_;
   NetConfig cfg_;
   sched::AccessLabel access_;  // model-level SWMR identity of this cell
-  std::vector<Replica> replicas_;
+  std::vector<Replica> replicas_;          // volatile state (crash-lost)
+  std::vector<DurableRecord<T>> durable_;  // stable state (crash-proof)
+  T initial_{};
+  std::uint64_t hook_token_ = 0;
   Endpoint writer_;
   std::deque<Endpoint> readers_;
   std::uint64_t write_ts_ = 0;

@@ -16,10 +16,15 @@
 //
 // Fault injection (NetFaultPlan) happens inside the transport: drop and
 // dup/delay/reorder decisions are drawn from the net's own RNG at
-// send(); partition and replica-crash checks happen at delivery time.
-// Replica handlers run inline during poll() — sends performed inside a
-// delivery (replies) are enqueued without taking another schedule
-// point, so one poll is one atomic network step to the scheduler.
+// send(); partition, replica-crash and recovery-downtime checks happen
+// at delivery time. Crash–recovery cycles (`recover` specs) take a
+// replica down after a message budget and bring it back after a
+// downtime window; the rejoin fires the registered recover hooks (the
+// replicated registers' recovery protocols) inside the triggering
+// poll's step. Replica handlers run inline during poll() — sends
+// performed inside a delivery (replies) are enqueued without taking
+// another schedule point, so one poll is one atomic network step to
+// the scheduler.
 //
 // SIMULATOR-ONLY for concurrent use (like theory::TheoryCell): the
 // queue and the replica state behind the closures are plain fields,
@@ -30,8 +35,10 @@
 #include <functional>
 #include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "net/durable_state.h"
 #include "net/net_plan.h"
 #include "sched/access.h"
 #include "util/rng.h"
@@ -48,9 +55,14 @@ struct NetStats {
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_partition = 0;
   std::uint64_t dropped_crash = 0;
+  std::uint64_t dropped_down = 0;  // eaten during a recovery downtime
   std::uint64_t duplicated = 0;
   std::uint64_t delayed = 0;
   std::uint64_t reordered = 0;
+  std::uint64_t replica_recoveries = 0;  // completed rejoin events
+  // Rejoin resynchronization traffic (queries + replies), filled in by
+  // the robustness layer like the client_* fields below.
+  std::uint64_t catchup_msgs = 0;
   // Client robustness layer (quorum phases).
   std::uint64_t client_phases = 0;
   std::uint64_t client_retries = 0;
@@ -86,11 +98,32 @@ class SimNet {
   // Network steps taken so far (the clock partitions are scheduled on).
   std::uint64_t now() const { return now_; }
 
-  // True once `node` hit its NetFaultPlan crash budget.
+  // True once `node` hit its NetFaultPlan crash budget (crash-stop:
+  // permanent). A node inside a recovery downtime is replica_down(),
+  // not crashed.
   bool replica_crashed(int node) const;
+
+  // True while `node` is inside a crash–recovery downtime window.
+  bool replica_down(int node) const;
 
   // Messages a replica node has processed (its crash budget meter).
   std::uint64_t processed(int node) const;
+
+  // Messages still queued for future delivery steps.
+  std::size_t pending() const { return queue_.size(); }
+
+  // Rejoin hooks: called with the rejoining node id immediately after a
+  // recovery downtime expires, before that poll's deliveries — the slot
+  // where a replicated register runs its recovery protocol. Hook sends
+  // ride the triggering poll's network step (no extra schedule points).
+  // Returns a token for remove_recover_hook (register destructors must
+  // deregister; the fabric can outlive any one register).
+  std::uint64_t add_recover_hook(std::function<void(int)> hook);
+  void remove_recover_hook(std::uint64_t token);
+
+  // The fabric-wide stable-storage device and durability auditor.
+  DurableMedium& durable() { return durable_; }
+  const DurableMedium& durable() const { return durable_; }
 
   const NetStats& stats() const { return stats_; }
   NetStats& stats() { return stats_; }
@@ -111,8 +144,20 @@ class SimNet {
     }
   };
 
+  // Per-replica crash–recovery state machine: cycles consumed in plan
+  // order; `since_up` meters the current incarnation against the next
+  // cycle's message budget.
+  struct RecoveryState {
+    std::vector<RecoverSpec> cycles;
+    std::size_t next = 0;
+    std::uint64_t since_up = 0;
+    bool down = false;
+    std::uint64_t up_at = 0;  // network step the downtime expires
+  };
+
   bool partition_blocks(int src, int dst) const;
   void deliver_one(Envelope env);
+  void rejoin_due();
 
   const int replicas_;
   NetFaultPlan plan_;
@@ -124,6 +169,10 @@ class SimNet {
   std::priority_queue<Envelope, std::vector<Envelope>, EnvelopeLater> queue_;
   std::vector<std::uint64_t> processed_;            // per replica node
   std::vector<std::optional<std::uint64_t>> crash_limit_;  // per replica
+  std::vector<RecoveryState> recovery_;             // per replica node
+  std::vector<std::pair<std::uint64_t, std::function<void(int)>>> hooks_;
+  std::uint64_t next_hook_ = 1;
+  DurableMedium durable_;
   NetStats stats_;
   sched::AccessLabel send_access_;
   sched::AccessLabel poll_access_;

@@ -31,6 +31,8 @@ using NetComposite =
 struct SweepResult {
   lin::History history;
   NetStats stats;
+  std::uint64_t pending = 0;  // messages still queued at teardown
+  std::size_t durability_findings = 0;
 };
 
 // One simulated execution: C writers + R readers over a composite
@@ -49,7 +51,28 @@ SweepResult run_once(int components, int readers, int ops,
   SweepResult out;
   out.history = lin::run_sim_workload(snap, policy, wl);
   out.stats = fab.fabric().net().stats();
+  out.pending = fab.fabric().net().pending();
+  out.durability_findings = fab.fabric().net().durable().report().findings.size();
   return out;
+}
+
+// Satellite: the transport's conservation law and client-layer bounds.
+// Every enqueued message (sends that survived the loss coin, plus
+// duplicate copies) is eventually delivered, eaten by a fault, or
+// still queued at teardown — nothing is double-counted or lost to the
+// accounting.
+void expect_stats_invariants(const SweepResult& run) {
+  const NetStats& s = run.stats;
+  EXPECT_EQ(s.sent + s.duplicated,
+            s.delivered + s.dropped_loss + s.dropped_partition +
+                s.dropped_crash + s.dropped_down + run.pending);
+  // Each quorum phase retries at most max_attempts - 1 times.
+  const NetConfig defaults;
+  EXPECT_LE(s.client_retries, s.client_phases * (defaults.max_attempts - 1));
+  // Catch-up traffic only exists once some replica actually rejoined.
+  if (s.replica_recoveries == 0) {
+    EXPECT_EQ(s.catchup_msgs, 0u);
+  }
 }
 
 TEST(NetChaosTest, CleanNetworkSweep) {
@@ -98,8 +121,9 @@ TEST(NetChaosTest, FullChaosSweepStaysLinearizable) {
       // path (Unavailable -> pending op) is actually exercised.
       const NetFaultPlan plan = NetFaultPlan::random(
           plan_rng, 2 * f + 1, 1600, /*loss=*/150, /*partition=*/500,
-          /*crash=*/600);
+          /*crash=*/600, /*recover_permille=*/400);
       const SweepResult run = run_once(2, 2, 3, seed, plan, f);
+      expect_stats_invariants(run);
       const lin::HistoryStats hs = lin::compute_stats(run.history);
       pending_seen += hs.pending_writes + hs.pending_reads;
       const lin::CheckResult sl = lin::check_shrinking_lemma(run.history);
@@ -127,19 +151,52 @@ TEST(NetChaosTest, PartitionedMinorityAllPending) {
   EXPECT_EQ(hs.pending_writes, 2u * 1u);  // each writer dies on write 1
   EXPECT_EQ(hs.pending_reads, 1u);
   EXPECT_GT(run.stats.client_unavailable, 0u);
-  EXPECT_EQ(run.stats.delivered + run.stats.dropped_partition +
-                run.stats.dropped_loss + run.stats.dropped_crash,
-            run.stats.sent);
+  expect_stats_invariants(run);
   const lin::CheckResult sl = lin::check_shrinking_lemma(run.history);
   EXPECT_TRUE(sl.ok) << sl.violation;
+}
+
+TEST(NetChaosTest, RecoverySweepStaysLinearizable) {
+  // Crash–recovery cycles on top of 10% loss: replicas go down, eat
+  // traffic, rejoin through the catch-up protocol, and serve again.
+  // Histories stay linearizable, the conformance analyzer and the
+  // durability auditor stay silent, and the stats ledger balances.
+  std::uint64_t recoveries_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng plan_rng(seed * 53);
+    const NetFaultPlan plan = NetFaultPlan::random(
+        plan_rng, 3, 1600, /*loss=*/100, /*partition=*/0, /*crash=*/0,
+        /*recover_permille=*/700);
+    analysis::AnalysisSession session(/*detect_races=*/false);
+    SweepResult run;
+    {
+      sched::ScopedAccessObserver observe(&session);
+      run = run_once(2, 2, 4, seed, plan);
+    }
+    const analysis::AnalysisReport report = session.report();
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ":\n" << report.text();
+    EXPECT_EQ(run.durability_findings, 0u)
+        << "seed " << seed << " plan=" << plan.to_string();
+    expect_stats_invariants(run);
+    recoveries_seen += run.stats.replica_recoveries;
+    const lin::CheckResult sl = lin::check_shrinking_lemma(run.history);
+    EXPECT_TRUE(sl.ok) << "seed " << seed << " plan=" << plan.to_string()
+                       << ": " << sl.violation;
+    const lin::Witness w = lin::build_linearization(run.history);
+    EXPECT_TRUE(w.ok) << "seed " << seed << " plan=" << plan.to_string()
+                      << ": " << w.error;
+  }
+  // At 700‰ per replica, the sweep without rejoins means the recovery
+  // injector is broken.
+  EXPECT_GT(recoveries_seen, 0u);
 }
 
 TEST(NetChaosTest, DeterministicReplay) {
   // (schedule seed, net seed, plan) fixes the execution: same history
   // dump, same transport statistics.
   Rng plan_rng(123);
-  const NetFaultPlan plan =
-      NetFaultPlan::random(plan_rng, 3, 1600, 100, 300, 300);
+  const NetFaultPlan plan = NetFaultPlan::random(plan_rng, 3, 1600, 100, 300,
+                                                 300, /*recover=*/500);
   const auto dump_of = [&](const SweepResult& run) {
     std::ostringstream os;
     lin::dump_history(run.history, os);
@@ -152,6 +209,8 @@ TEST(NetChaosTest, DeterministicReplay) {
   EXPECT_EQ(a.stats.delivered, b.stats.delivered);
   EXPECT_EQ(a.stats.client_retries, b.stats.client_retries);
   EXPECT_EQ(a.stats.client_unavailable, b.stats.client_unavailable);
+  EXPECT_EQ(a.stats.replica_recoveries, b.stats.replica_recoveries);
+  EXPECT_EQ(a.stats.catchup_msgs, b.stats.catchup_msgs);
   // And a different schedule seed genuinely changes the execution.
   const SweepResult c = run_once(2, 2, 3, 78, plan);
   EXPECT_NE(dump_of(a), dump_of(c));

@@ -46,12 +46,20 @@ TEST(NetPlanTest, ParseSingleSpecs) {
   ASSERT_EQ(crash->crashes.size(), 1u);
   EXPECT_EQ(crash->crashes[0].node, 2);
   EXPECT_EQ(crash->crashes[0].after_msgs, 25u);
+
+  auto recover = NetFaultPlan::parse("recover:1@12+40");
+  ASSERT_TRUE(recover.has_value());
+  ASSERT_EQ(recover->recoveries.size(), 1u);
+  EXPECT_EQ(recover->recoveries[0].node, 1);
+  EXPECT_EQ(recover->recoveries[0].after_msgs, 12u);
+  EXPECT_EQ(recover->recoveries[0].downtime, 40u);
+  EXPECT_FALSE(recover->empty());
 }
 
 TEST(NetPlanTest, RoundTrip) {
   const std::string text =
       "drop:100,delay:200+6,dup:60,reorder:120,"
-      "partition:40+200@0.1,crash:2@25";
+      "partition:40+200@0.1,crash:2@25,recover:0@12+40,recover:0@3+9";
   auto plan = NetFaultPlan::parse(text);
   ASSERT_TRUE(plan.has_value());
   EXPECT_EQ(plan->to_string(), text);
@@ -92,6 +100,10 @@ TEST(NetPlanTest, RejectsJunk) {
   EXPECT_FALSE(NetFaultPlan::parse("partition:5@0").has_value());  // no +len
   EXPECT_FALSE(NetFaultPlan::parse("partition:5+10@").has_value());
   EXPECT_FALSE(NetFaultPlan::parse("crash:1").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("recover:1").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("recover:1@5").has_value());  // no +down
+  EXPECT_FALSE(NetFaultPlan::parse("recover:1@5+").has_value());
+  EXPECT_FALSE(NetFaultPlan::parse("recover:@5+9").has_value());
   EXPECT_FALSE(NetFaultPlan::parse("explode:9").has_value());
   EXPECT_FALSE(NetFaultPlan::parse("drop:100,").has_value());
   EXPECT_FALSE(NetFaultPlan::parse(",drop:100").has_value());
@@ -132,6 +144,40 @@ TEST(NetPlanTest, RandomPlansRoundTrip) {
     ASSERT_TRUE(parsed.has_value()) << plan.to_string();
     EXPECT_EQ(parsed->to_string(), plan.to_string());
   }
+}
+
+TEST(NetPlanTest, RandomRecoveryPlansAreGenerated) {
+  // With recover_permille=1000 every replica gets at least one
+  // crash–downtime–rejoin cycle.
+  Rng rng(7);
+  const NetFaultPlan plan =
+      NetFaultPlan::random(rng, 3, 1600, 0, 0, 0, /*recover_permille=*/1000);
+  EXPECT_GE(plan.recoveries.size(), 3u);
+  for (const RecoverSpec& rec : plan.recoveries) {
+    EXPECT_GE(rec.node, 0);
+    EXPECT_LT(rec.node, 3);
+    EXPECT_GE(rec.downtime, 1u);
+  }
+}
+
+// Satellite: structural round-trip `parse(to_string(p)) == p` across
+// 1000 seeds, with every fault dimension (including recovery) enabled.
+// Stronger than comparing printed strings: any field to_string forgets
+// or parse misreads breaks operator== even if the text looks right.
+TEST(NetPlanTest, RandomPlansRoundTripStructurally) {
+  int non_empty = 0;
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(seed);
+    const NetFaultPlan plan = NetFaultPlan::random(
+        rng, 3, 1600, /*loss=*/100, /*partition=*/200, /*crash=*/200,
+        /*recover_permille=*/400);
+    if (plan.empty()) continue;
+    ++non_empty;
+    auto parsed = NetFaultPlan::parse(plan.to_string());
+    ASSERT_TRUE(parsed.has_value()) << plan.to_string();
+    EXPECT_TRUE(*parsed == plan) << plan.to_string();
+  }
+  EXPECT_GT(non_empty, 900);  // the sweep actually exercised plans
 }
 
 }  // namespace

@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/net_cell.h"
 #include "registers/register_concepts.h"
 #include "sched/schedule_point.h"
+#include "util/rng.h"
 
 namespace compreg::net {
 namespace {
@@ -179,6 +181,101 @@ TEST(ReplicatedRegisterTest, StaleRepliesNeverSatisfyANewPhase) {
   EXPECT_EQ(reg.read(0), 1u);  // op sequence numbers fence the inbox
   reg.write(2);
   EXPECT_EQ(reg.read(0), 2u);
+}
+
+TEST(ReplicatedRegisterTest, PersistsBeforeAck) {
+  // On a clean network every replica's durable (ts, value) tracks its
+  // volatile copy: the durability rule is persist first, ack second,
+  // so nothing a client saw acknowledged can be lost to a crash.
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), NetFaultPlan{}, 1);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  for (std::uint64_t v = 1; v <= 5; ++v) reg.write(v);
+  for (int r = 0; r < cfg.replicas(); ++r) {
+    EXPECT_EQ(reg.durable_ts(r), reg.replica_ts(r));
+    EXPECT_EQ(reg.durable_val(r), reg.replica_val(r));
+  }
+  EXPECT_GT(net.durable().stats().persists, 0u);
+  EXPECT_TRUE(net.durable().report().findings.empty());
+}
+
+TEST(ReplicatedRegisterTest, RejoinCatchUpRestoresState) {
+  // Node 2 crashes after 4 processed messages, sits out 6 steps, then
+  // rejoins: reload durable state, catch up from a read quorum, serve.
+  // By the end of the workload it has converged with the others.
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(), plan_of("recover:2@4+6"), 7);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  for (std::uint64_t v = 1; v <= 12; ++v) {
+    reg.write(v);
+    EXPECT_EQ(reg.read(0), v);
+  }
+  EXPECT_GE(net.stats().replica_recoveries, 1u);
+  EXPECT_GT(net.stats().dropped_down, 0u);
+  EXPECT_GT(net.stats().catchup_msgs, 0u);
+  EXPECT_GT(net.durable().stats().reloads, 0u);
+  EXPECT_TRUE(reg.replica_serving(2));
+  EXPECT_EQ(reg.replica_ts(2), reg.write_ts());
+  EXPECT_EQ(reg.replica_val(2), 12u);
+  EXPECT_EQ(net.stats().client_unavailable, 0u);
+  // A correct implementation never trips the durability auditor.
+  EXPECT_TRUE(net.durable().report().findings.empty());
+}
+
+TEST(ReplicatedRegisterTest, RepeatedRecoveriesStayAvailable) {
+  // Both minority replicas cycle independently; the quorum is always
+  // reachable and every acknowledged write survives.
+  NetConfig cfg = config_f(1);
+  SimNet net(cfg.replicas(),
+             plan_of("recover:1@6+5,recover:2@10+4,recover:2@8+6"), 11);
+  ReplicatedRegister<std::uint64_t> reg(net, cfg, /*readers=*/1, 0);
+  for (std::uint64_t v = 1; v <= 30; ++v) {
+    reg.write(v);
+    EXPECT_EQ(reg.read(0), v);
+  }
+  EXPECT_GE(net.stats().replica_recoveries, 2u);
+  EXPECT_EQ(net.stats().client_unavailable, 0u);
+  EXPECT_TRUE(net.durable().report().findings.empty());
+}
+
+// Satellite: the client backoff window — capped at backoff_cap,
+// deterministic under a fixed jitter seed, and shift-safe for attempt
+// counts past the word width.
+TEST(BackoffWindowTest, CapBoundsEveryWindow) {
+  Rng jitter(42);
+  for (unsigned attempt = 0; attempt < 100; ++attempt) {
+    const std::uint64_t w = backoff_window(/*base=*/2, /*cap=*/16, attempt,
+                                           jitter);
+    EXPECT_LE(w, 16u + 16u / 2);  // cap plus the maximum jitter share
+  }
+}
+
+TEST(BackoffWindowTest, DeterministicUnderFixedSeed) {
+  const auto seq = [] {
+    Rng jitter(7);
+    std::vector<std::uint64_t> out;
+    for (unsigned a = 0; a < 32; ++a) {
+      out.push_back(backoff_window(3, 40, a, jitter));
+    }
+    return out;
+  };
+  EXPECT_EQ(seq(), seq());
+}
+
+TEST(BackoffWindowTest, NoOverflowAtLargeAttempts) {
+  // base << attempt would wrap at attempt >= 61 for base 8; the window
+  // must saturate at the cap instead of wrapping to something tiny.
+  Rng jitter(9);
+  for (unsigned attempt : {61u, 63u, 64u, 65u, 1000u, 4000000000u}) {
+    const std::uint64_t w = backoff_window(8, 64, attempt, jitter);
+    EXPECT_GE(w, 64u) << attempt;
+    EXPECT_LE(w, 64u + 64u / 2) << attempt;
+  }
+}
+
+TEST(BackoffWindowTest, ZeroBaseMeansNoWait) {
+  Rng jitter(3);
+  EXPECT_EQ(backoff_window(0, 50, 10, jitter), 0u);
 }
 
 TEST(NetCellTest, RequiresAndUsesAmbientFabric) {

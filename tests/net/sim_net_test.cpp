@@ -159,6 +159,117 @@ TEST(SimNetTest, OutOfRangeCrashSpecIsNoOp) {
   EXPECT_EQ(delivered, 1);
 }
 
+TEST(SimNetTest, RecoveryCycleDownThenRejoin) {
+  // Node 0 processes 2 messages, goes down for 3 steps eating traffic,
+  // then rejoins and delivers again.
+  SimNet net(2, plan_of("recover:0@2+3"), 7);
+  const int client = net.new_client_node();
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) net.send(client, 0, [&] { ++delivered; });
+  net.poll();  // now = 1: 2 delivered, then the crash trigger fires
+  EXPECT_EQ(delivered, 2);
+  EXPECT_TRUE(net.replica_down(0));
+  EXPECT_EQ(net.stats().dropped_down, 3u);
+  // Down for the whole window: messages sent meanwhile are eaten too.
+  net.send(client, 0, [&] { ++delivered; });
+  net.poll();  // now = 2
+  net.poll();  // now = 3
+  EXPECT_EQ(delivered, 2);
+  EXPECT_TRUE(net.replica_down(0));
+  EXPECT_EQ(net.stats().dropped_down, 4u);
+  // up_at = 1 + 3 = 4: the poll that moves now to 4 rejoins first,
+  // then delivers.
+  net.send(client, 0, [&] { ++delivered; });
+  net.poll();  // now = 4
+  EXPECT_FALSE(net.replica_down(0));
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(net.stats().replica_recoveries, 1u);
+}
+
+TEST(SimNetTest, RecoveryHookFiresOnRejoin) {
+  SimNet net(2, plan_of("recover:1@0+2"), 7);
+  const int client = net.new_client_node();
+  std::vector<int> rejoined;
+  const std::uint64_t token =
+      net.add_recover_hook([&](int node) { rejoined.push_back(node); });
+  net.send(client, 1, [] {});
+  net.poll();  // trigger fires before processing: node 1 down from msg 0
+  EXPECT_TRUE(net.replica_down(1));
+  EXPECT_TRUE(rejoined.empty());
+  net.poll();
+  net.poll();  // now = 3 >= up_at = 3
+  EXPECT_FALSE(net.replica_down(1));
+  EXPECT_EQ(rejoined, (std::vector<int>{1}));
+  // A removed hook no longer fires on later cycles.
+  net.remove_recover_hook(token);
+}
+
+TEST(SimNetTest, RepeatedRecoveryCyclesResetBudget) {
+  // Two cycles: after_msgs counts messages since the last (re)start,
+  // so the second cycle needs 1 fresh post-rejoin delivery to trigger.
+  SimNet net(2, plan_of("recover:0@1+1,recover:0@1+2"), 7);
+  const int client = net.new_client_node();
+  int delivered = 0;
+  const auto send_one = [&] { net.send(client, 0, [&] { ++delivered; }); };
+  send_one();
+  send_one();
+  net.poll();  // 1 delivered, cycle 1 trips, second msg eaten
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(net.replica_down(0));
+  net.poll();  // now = 2 >= up_at = 2: rejoin
+  EXPECT_FALSE(net.replica_down(0));
+  EXPECT_EQ(net.stats().replica_recoveries, 1u);
+  send_one();
+  send_one();
+  net.poll();  // 1 fresh delivery, cycle 2 trips
+  EXPECT_EQ(delivered, 2);
+  EXPECT_TRUE(net.replica_down(0));
+  net.poll();
+  net.poll();  // downtime 2 over
+  EXPECT_FALSE(net.replica_down(0));
+  EXPECT_EQ(net.stats().replica_recoveries, 2u);
+  // Out of cycles: node stays up from here on.
+  send_one();
+  net.poll();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_FALSE(net.replica_down(0));
+}
+
+TEST(SimNetTest, OutOfRangeRecoverSpecIsNoOp) {
+  SimNet net(2, plan_of("recover:9@0+5"), 7);
+  const int client = net.new_client_node();
+  int delivered = 0;
+  net.send(client, 0, [&] { ++delivered; });
+  net.poll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().replica_recoveries, 0u);
+}
+
+TEST(SimNetTest, PendingCountsQueuedMessages) {
+  SimNet net(2, NetFaultPlan{}, 7);
+  const int client = net.new_client_node();
+  EXPECT_EQ(net.pending(), 0u);
+  net.send(client, 0, [] {});
+  net.send(client, 1, [] {});
+  EXPECT_EQ(net.pending(), 2u);
+  net.poll();
+  EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(SimNetTest, RecoveryDeterministicAcrossRuns) {
+  const auto run = [] {
+    SimNet net(3, plan_of("drop:200,recover:0@3+4,recover:1@5+2"), 99);
+    const int client = net.new_client_node();
+    int delivered = 0;
+    for (int i = 0; i < 60; ++i) net.send(client, i % 3, [&] { ++delivered; });
+    for (int i = 0; i < 25; ++i) net.poll();
+    return std::make_tuple(delivered, net.stats().dropped_loss,
+                           net.stats().dropped_down,
+                           net.stats().replica_recoveries);
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(SimNetTest, DeterministicAcrossRuns) {
   // Same (plan, seed, send sequence) => identical fault decisions.
   const auto run = [] {

@@ -26,7 +26,12 @@
 // the register over the simulated network; all send/poll points are
 // mutually dependent (global-order cells), so the fabric's RNG is
 // consumed in a schedule-prefix-determined order and exploration stays
-// sound. Expect little reduction there.
+// sound. Expect little reduction there. The chaos-derived net plan
+// includes crash–recovery cycles at --net-recover permille, and the
+// durability auditor's findings (ack-before-persist, amnesiac-reply)
+// are merged into every explored execution's conformance report;
+// --amnesia ack|rejoin seeds the corresponding mutant so a bounded
+// DPOR run certifiably flags it.
 //
 // --schedule "0,1,1,0,..." replays ONE exact schedule (the format
 // emitted in artifacts' "# schedule" line) instead of exploring —
@@ -44,7 +49,8 @@
 //               [--max-schedules N] [--depth-bound N] [--no-sleep-sets]
 //               [--dep-conservative] [--conformance] [--witness]
 //               [--chaos] [--crash-prob PERMILLE] [--stall PERMILLE]
-//               [--plan SPEC] [--net-f F] [--net-plan SPEC]
+//               [--plan SPEC] [--net-f F] [--net-recover PERMILLE]
+//               [--net-plan SPEC] [--amnesia none|ack|rejoin]
 //               [--schedule CSV] [--out FILE] [--watchdog SECONDS]
 //
 // Exit codes: 0 = explored space clean (certified or bounded-clean);
@@ -149,7 +155,9 @@ int main(int argc, char** argv) {
   long stall_permille = -1;
   std::string plan_text;
   int net_f = 1;
+  long net_recover_permille = -1;  // -1 = not set
   std::string net_plan_text;
+  std::string amnesia_text = "none";
   std::string schedule_text;
   unsigned watchdog_sec = 120;
   Artifact artifact;
@@ -196,8 +204,12 @@ int main(int argc, char** argv) {
       plan_text = next("--plan");
     } else if (!std::strcmp(argv[i], "--net-f")) {
       net_f = std::atoi(next("--net-f"));
+    } else if (!std::strcmp(argv[i], "--net-recover")) {
+      net_recover_permille = std::atol(next("--net-recover"));
     } else if (!std::strcmp(argv[i], "--net-plan")) {
       net_plan_text = next("--net-plan");
+    } else if (!std::strcmp(argv[i], "--amnesia")) {
+      amnesia_text = next("--amnesia");
     } else if (!std::strcmp(argv[i], "--schedule")) {
       schedule_text = next("--schedule");
     } else if (!std::strcmp(argv[i], "--out")) {
@@ -215,13 +227,29 @@ int main(int argc, char** argv) {
                  "deterministic simulator\n");
     return kExitUsage;
   }
-  if (impl != "net" && (net_f != 1 || !net_plan_text.empty())) {
+  if (impl != "net" &&
+      (net_f != 1 || net_recover_permille >= 0 || !net_plan_text.empty() ||
+       amnesia_text != "none")) {
     std::fprintf(stderr,
-                 "network flags (--net-f/--net-plan) require --impl net\n");
+                 "network flags (--net-f/--net-recover/--net-plan/"
+                 "--amnesia) require --impl net\n");
     return kExitUsage;
   }
   if (impl == "net" && net_f < 1) {
     std::fprintf(stderr, "--net-f must be >= 1 (2f+1 replicas)\n");
+    return kExitUsage;
+  }
+  if (net_recover_permille > 1000) {
+    std::fprintf(stderr, "permille values cap at 1000\n");
+    return kExitUsage;
+  }
+  compreg::net::Amnesia amnesia = compreg::net::Amnesia::kNone;
+  if (amnesia_text == "ack") {
+    amnesia = compreg::net::Amnesia::kAckBeforePersist;
+  } else if (amnesia_text == "rejoin") {
+    amnesia = compreg::net::Amnesia::kBlankRejoin;
+  } else if (amnesia_text != "none") {
+    std::fprintf(stderr, "--amnesia takes none|ack|rejoin\n");
     return kExitUsage;
   }
   if (chaos && impl != "net") {
@@ -266,13 +294,14 @@ int main(int argc, char** argv) {
     }
     net_plan = *parsed;
   } else if (chaos && impl == "net") {
+    if (net_recover_permille < 0) net_recover_permille = 150;
     compreg::Rng net_rng(seed ^ 0x6e65745f5eedull);
     const std::uint64_t est_net_steps = static_cast<std::uint64_t>(ops) * 400;
-    net_plan = compreg::net::NetFaultPlan::random(net_rng, 2 * net_f + 1,
-                                                  est_net_steps,
-                                                  /*loss=*/100,
-                                                  /*partition=*/150,
-                                                  /*crash=*/150);
+    net_plan = compreg::net::NetFaultPlan::random(
+        net_rng, 2 * net_f + 1, est_net_steps,
+        /*loss=*/100,
+        /*partition=*/150,
+        /*crash=*/150, static_cast<unsigned>(net_recover_permille));
   }
 
   {
@@ -285,6 +314,9 @@ int main(int argc, char** argv) {
     if (dep_conservative) cfg << " +dep-conservative";
     if (impl == "net") cfg << " f=" << net_f
                            << " replicas=" << (2 * net_f + 1);
+    if (amnesia != compreg::net::Amnesia::kNone) {
+      cfg << " amnesia=" << amnesia_text;
+    }
     if (!plan.empty()) cfg << " plan=" << plan.to_string();
     if (!net_plan.empty()) cfg << " net-plan=" << net_plan.to_string();
     if (conformance) cfg << " +conformance";
@@ -309,6 +341,9 @@ int main(int argc, char** argv) {
     if (conformance) cmd << " --conformance";
     if (witness) cmd << " --witness";
     if (impl == "net") cmd << " --net-f " << net_f;
+    if (amnesia != compreg::net::Amnesia::kNone) {
+      cmd << " --amnesia " << amnesia_text;
+    }
     if (!p.empty()) cmd << " --plan '" << p << "'";
     if (!np.empty()) cmd << " --net-plan '" << np << "'";
     if (!sch.empty()) cmd << " --schedule " << sch;
@@ -337,6 +372,7 @@ int main(int argc, char** argv) {
         if (impl == "net") {
           compreg::net::NetConfig ncfg;
           ncfg.f = net_f;
+          ncfg.amnesia = amnesia;
           ctx->fab.emplace(ncfg, net_plan, seed ^ 0x51b2e75eedull);
         }
         ctx->snap = make_impl(impl, components, readers);
@@ -350,7 +386,13 @@ int main(int argc, char** argv) {
         ctx->rec = compreg::lin::spawn_sim_workload(sim, *ctx->snap, cfg);
         return [&, ctx]() -> bool {
           const compreg::lin::History h = ctx->rec->merge();
-          const compreg::analysis::AnalysisReport creport = session.report();
+          compreg::analysis::AnalysisReport creport = session.report();
+          // The durability auditor's findings ride the conformance
+          // report; the fabric is alive here (ctx owns it).
+          if (ctx->fab) {
+            creport.merge_findings(
+                ctx->fab->fabric().net().durable().report());
+          }
           const compreg::lin::ConformanceCounters& cc = creport.counters;
           conf_total.cells += cc.cells;
           conf_total.swmr_cells += cc.swmr_cells;

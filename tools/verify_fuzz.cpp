@@ -29,10 +29,17 @@
 // register on a per-iteration SimNet of 2f+1 replicas. Chaos mode then
 // derives a per-iteration NetFaultPlan (message loss at --loss permille
 // plus random delay/dup/reorder, partitions at --net-partition, replica
-// crashes at --net-crash), or replays one fixed plan (--net-plan, see
-// src/net/net_plan.h for the grammar). A quorum-starved operation
-// degrades to Unavailable, which the workload records as a pending
-// (crash-like) op — checked with the crash-aware checkers, never hung.
+// crashes at --net-crash, crash–recovery cycles at --net-recover), or
+// replays one fixed plan (--net-plan, see src/net/net_plan.h for the
+// grammar). A quorum-starved operation degrades to Unavailable, which
+// the workload records as a pending (crash-like) op — checked with the
+// crash-aware checkers, never hung.
+//
+// The durability auditor (src/net/durable_state.h) watches every net
+// iteration: a replica that acks before persisting or serves forgotten
+// state is a finding, merged into the conformance report. --amnesia
+// ack|rejoin seeds exactly those mutants (certification that the
+// checkers catch them); the replay line carries the flag.
 //
 // Every artifact ends with a "# replay: verify_fuzz ..." line carrying
 // the failing seed and the concrete plan(s) in force, so reproducing a
@@ -46,7 +53,8 @@
 //               [--chaos] [--crash-prob PERMILLE] [--stall PERMILLE]
 //               [--plan SPEC] [--out FILE] [--watchdog SECONDS]
 //               [--net-f F] [--loss PERMILLE] [--net-partition PERMILLE]
-//               [--net-crash PERMILLE] [--net-plan SPEC]
+//               [--net-crash PERMILLE] [--net-recover PERMILLE]
+//               [--net-plan SPEC] [--amnesia none|ack|rejoin]
 //
 // --impl mw fuzzes the multi-writer reduction (native threads, 3
 // processes). Exit codes: 0 = all iterations clean; 1 = violation found
@@ -115,7 +123,9 @@ int main(int argc, char** argv) {
   long loss_permille = -1;  // -1 = not set
   long net_partition_permille = -1;
   long net_crash_permille = -1;
+  long net_recover_permille = -1;
   std::string net_plan_text;
+  std::string amnesia_text = "none";
   Artifact artifact;
 
   for (int i = 1; i < argc; ++i) {
@@ -162,8 +172,12 @@ int main(int argc, char** argv) {
       net_partition_permille = std::atol(next("--net-partition"));
     } else if (!std::strcmp(argv[i], "--net-crash")) {
       net_crash_permille = std::atol(next("--net-crash"));
+    } else if (!std::strcmp(argv[i], "--net-recover")) {
+      net_recover_permille = std::atol(next("--net-recover"));
     } else if (!std::strcmp(argv[i], "--net-plan")) {
       net_plan_text = next("--net-plan");
+    } else if (!std::strcmp(argv[i], "--amnesia")) {
+      amnesia_text = next("--amnesia");
     } else if (!std::strcmp(argv[i], "--out")) {
       artifact.path = next("--out");
     } else if (!std::strcmp(argv[i], "--watchdog")) {
@@ -182,14 +196,25 @@ int main(int argc, char** argv) {
   }
   if (impl != "net" &&
       (loss_permille >= 0 || net_partition_permille >= 0 ||
-       net_crash_permille >= 0 || !net_plan_text.empty() || net_f != 1)) {
+       net_crash_permille >= 0 || net_recover_permille >= 0 ||
+       !net_plan_text.empty() || net_f != 1 || amnesia_text != "none")) {
     std::fprintf(stderr,
                  "network flags (--net-f/--loss/--net-partition/"
-                 "--net-crash/--net-plan) require --impl net\n");
+                 "--net-crash/--net-recover/--net-plan/--amnesia) "
+                 "require --impl net\n");
     return kExitUsage;
   }
   if (impl == "net" && net_f < 1) {
     std::fprintf(stderr, "--net-f must be >= 1 (2f+1 replicas)\n");
+    return kExitUsage;
+  }
+  compreg::net::Amnesia amnesia = compreg::net::Amnesia::kNone;
+  if (amnesia_text == "ack") {
+    amnesia = compreg::net::Amnesia::kAckBeforePersist;
+  } else if (amnesia_text == "rejoin") {
+    amnesia = compreg::net::Amnesia::kBlankRejoin;
+  } else if (amnesia_text != "none") {
+    std::fprintf(stderr, "--amnesia takes none|ack|rejoin\n");
     return kExitUsage;
   }
   if (chaos) {
@@ -199,6 +224,7 @@ int main(int argc, char** argv) {
       if (loss_permille < 0) loss_permille = 100;  // 10% message loss
       if (net_partition_permille < 0) net_partition_permille = 150;
       if (net_crash_permille < 0) net_crash_permille = 150;
+      if (net_recover_permille < 0) net_recover_permille = 150;
     } else {
       if (crash_permille < 0) crash_permille = 350;
       if (stall_permille < 0) stall_permille = 250;
@@ -209,8 +235,9 @@ int main(int argc, char** argv) {
   if (loss_permille < 0) loss_permille = 0;
   if (net_partition_permille < 0) net_partition_permille = 0;
   if (net_crash_permille < 0) net_crash_permille = 0;
+  if (net_recover_permille < 0) net_recover_permille = 0;
   if (loss_permille > 1000 || net_partition_permille > 1000 ||
-      net_crash_permille > 1000) {
+      net_crash_permille > 1000 || net_recover_permille > 1000) {
     std::fprintf(stderr, "permille values cap at 1000\n");
     return kExitUsage;
   }
@@ -241,7 +268,8 @@ int main(int argc, char** argv) {
   }
   const bool inject_net_faults =
       impl == "net" && (loss_permille > 0 || net_partition_permille > 0 ||
-                        net_crash_permille > 0 || fixed_net_plan.has_value());
+                        net_crash_permille > 0 || net_recover_permille > 0 ||
+                        fixed_net_plan.has_value());
 
   {
     std::ostringstream cfg;
@@ -253,8 +281,12 @@ int main(int argc, char** argv) {
       if (inject_net_faults) {
         cfg << " loss=" << loss_permille
             << " net-partition=" << net_partition_permille
-            << " net-crash=" << net_crash_permille;
+            << " net-crash=" << net_crash_permille
+            << " net-recover=" << net_recover_permille;
         if (fixed_net_plan) cfg << " net-plan=" << fixed_net_plan->to_string();
+      }
+      if (amnesia != compreg::net::Amnesia::kNone) {
+        cfg << " amnesia=" << amnesia_text;
       }
     }
     if (inject_faults) {
@@ -287,6 +319,9 @@ int main(int argc, char** argv) {
     if (conformance) cmd << " --conformance";
     if (witness) cmd << " --witness";
     if (impl == "net") cmd << " --net-f " << net_f;
+    if (amnesia != compreg::net::Amnesia::kNone) {
+      cmd << " --amnesia " << amnesia_text;
+    }
     if (!p.empty()) cmd << " --plan '" << p << "'";
     if (!np.empty()) cmd << " --net-plan '" << np << "'";
     return cmd.str();
@@ -336,7 +371,8 @@ int main(int argc, char** argv) {
             net_rng, 2 * net_f + 1, est_net_steps,
             static_cast<unsigned>(loss_permille),
             static_cast<unsigned>(net_partition_permille),
-            static_cast<unsigned>(net_crash_permille));
+            static_cast<unsigned>(net_crash_permille),
+            static_cast<unsigned>(net_recover_permille));
       }
     }
     live.set(it_seed, plan.empty() ? std::string() : plan.to_string(),
@@ -347,6 +383,10 @@ int main(int argc, char** argv) {
     // so a watchdog artifact always carries the report of the hang;
     // --conformance only gates whether findings fail the run.
     session.reset();
+    // Durability-auditor findings for this iteration (net only): the
+    // fabric dies with its scope below, so its report is captured there
+    // and merged into the conformance report after the run.
+    compreg::analysis::AnalysisReport durrep;
     std::optional<compreg::sched::ScopedAccessObserver> observe;
     observe.emplace(&session);
     if (impl == "mw") {
@@ -377,6 +417,7 @@ int main(int argc, char** argv) {
       if (impl == "net") {
         compreg::net::NetConfig ncfg;
         ncfg.f = net_f;
+        ncfg.amnesia = amnesia;
         fab.emplace(ncfg, net_plan, it_seed ^ 0x51b2e75eedull);
       }
       auto snap = make_impl(impl, components, readers);
@@ -394,10 +435,17 @@ int main(int argc, char** argv) {
       } else {
         h = compreg::lin::run_sim_workload(*snap, policy, cfg);
       }
+      if (fab) durrep = fab->fabric().net().durable().report();
     }
     observe.reset();
+    const auto full_dump = [&] {
+      compreg::analysis::AnalysisReport r = session.report();
+      r.merge_findings(durrep);
+      return r.dump();
+    };
     if (conformance) {
-      const compreg::analysis::AnalysisReport creport = session.report();
+      compreg::analysis::AnalysisReport creport = session.report();
+      creport.merge_findings(durrep);
       const compreg::lin::ConformanceCounters& cc = creport.counters;
       conf_total.cells += cc.cells;
       conf_total.swmr_cells += cc.swmr_cells;
@@ -452,7 +500,7 @@ int main(int argc, char** argv) {
                      net_plan.to_string(), /*schedule=*/std::string(),
                      make_replay(it_seed, plan.to_string(),
                                  net_plan.to_string(), std::string()),
-                     result.violation, &h, session.report().dump());
+                     result.violation, &h, full_dump());
       return kExitViolation;
     }
     if (witness) {
@@ -467,7 +515,7 @@ int main(int argc, char** argv) {
                        /*schedule=*/std::string(),
                        make_replay(it_seed, plan.to_string(),
                                    net_plan.to_string(), std::string()),
-                       w.error, &h, session.report().dump());
+                       w.error, &h, full_dump());
         return kExitViolation;
       }
     }
