@@ -27,6 +27,21 @@ bool DependencyModel::dependent(const StepInfo& a, const StepInfo& b) const {
   return false;
 }
 
+bool step_universal(const StepInfo& step) {
+  if (step.opaque()) return true;
+  for (const sched::Access& a : step.accesses) {
+    if (a.decl.cell == 0) return true;
+  }
+  return false;
+}
+
+bool step_global(const StepInfo& step) {
+  for (const sched::Access& a : step.accesses) {
+    if (a.decl.global_order) return true;
+  }
+  return false;
+}
+
 void TraceRecorder::on_access(const sched::Access& access, int proc,
                               std::uint64_t sched_pos) {
   if (sched_pos == 0) {

@@ -63,6 +63,15 @@ class DependencyModel {
   DependencyOptions opts_;
 };
 
+// Does the step conflict with *every* other step? True for opaque steps
+// and for steps touching an undeclared cell (id 0). The DPOR engine
+// keys its latest-dependent-predecessor bookkeeping on this.
+bool step_universal(const StepInfo& step);
+
+// Does the step touch a global-order cell (SimNet send/poll)? Such
+// steps are pairwise dependent regardless of cell identity.
+bool step_global(const StepInfo& step);
+
 // AccessObserver that groups the labeled access stream of one simulated
 // execution by scheduler grant. `sched_pos` at report time is the trace
 // size *after* the grant was pushed, so grant index = sched_pos - 1;

@@ -3,7 +3,12 @@
 namespace compreg::net {
 namespace {
 
-NetFabric* g_current_fabric = nullptr;
+// Thread-local, not process-global: a fabric is installed around cell
+// CONSTRUCTION only (NetCell constructors resolve it; operations hold a
+// direct reference afterwards), and construction happens on the thread
+// that owns the scenario — so parallel DPOR workers can each install
+// their own fabric without clashing.
+thread_local NetFabric* g_current_fabric = nullptr;
 
 }  // namespace
 

@@ -93,6 +93,11 @@ class HazardCell {
   void reclaim() {
     // Writer-private. Keep nodes any reader has protected; free the
     // rest. |retired_| never exceeds readers_+1 afterwards.
+    // sched-lint: exempt(reclamation, not communication - see below)
+    // The hazard scan's outcome decides which retired nodes are freed
+    // but never any value a process observes: readers publish only to
+    // their own slot, and the caller (write) already announced its
+    // labeled point before the linearizing store.
     std::size_t keep = 0;
     for (std::size_t i = 0; i < retired_.size(); ++i) {
       Node* node = retired_[i];

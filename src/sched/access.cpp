@@ -11,10 +11,28 @@ std::atomic<std::uint64_t> g_next_cell_id{1};
 
 std::atomic<AccessObserver*> g_observer{nullptr};
 
+// Active CellIdArena range of this thread; next == end means none.
+thread_local std::uint64_t t_arena_next = 0;
+thread_local std::uint64_t t_arena_end = 0;
+
 }  // namespace
 
 std::uint64_t new_cell_id() {
+  if (t_arena_next != t_arena_end) return t_arena_next++;
   return g_next_cell_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+CellIdArena::CellIdArena(std::uint64_t capacity)
+    : base_(g_next_cell_id.fetch_add(capacity, std::memory_order_relaxed)),
+      prev_next_(t_arena_next),
+      prev_end_(t_arena_end) {
+  t_arena_next = base_;
+  t_arena_end = base_ + capacity;
+}
+
+CellIdArena::~CellIdArena() {
+  t_arena_next = prev_next_;
+  t_arena_end = prev_end_;
 }
 
 void set_access_observer(AccessObserver* observer) {

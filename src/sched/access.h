@@ -59,6 +59,33 @@ struct Access {
 // Allocates a fresh cell id. Thread-safe.
 std::uint64_t new_cell_id();
 
+// Scoped thread-local allocation block: while alive, new_cell_id()
+// calls from THIS thread hand out sequential ids from a privately
+// reserved range instead of the shared counter. Scenario constructions
+// are deterministic, so every run of the same scenario under an arena
+// yields the same offsets `cell - base()` — a schedule- and
+// thread-independent identity for "the k-th register this scenario
+// builds". The DPOR engine wraps each execution in one (class-orbit
+// signatures key on the offsets); ids stay globally unique because the
+// range is reserved from the shared counter. Allocations past
+// `capacity` fall back to the shared counter (unique but no longer
+// offset-stable). Non-reentrant per thread.
+class CellIdArena {
+ public:
+  explicit CellIdArena(std::uint64_t capacity);
+  ~CellIdArena();
+
+  CellIdArena(const CellIdArena&) = delete;
+  CellIdArena& operator=(const CellIdArena&) = delete;
+
+  std::uint64_t base() const { return base_; }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t prev_next_;
+  std::uint64_t prev_end_;
+};
+
 // The identity a register holds for its lifetime; construct one per
 // base register and build Access descriptors from it at each access.
 class AccessLabel {

@@ -4,7 +4,7 @@
 
 #include "util/assert.h"
 
-namespace compreg::sched {
+namespace compreg::sched::oracle {
 
 ExploreStats explore(const Scenario& scenario, int max_depth,
                      std::uint64_t max_schedules) {
@@ -48,4 +48,4 @@ ExploreStats explore(const Scenario& scenario, int max_depth,
   }
 }
 
-}  // namespace compreg::sched
+}  // namespace compreg::sched::oracle

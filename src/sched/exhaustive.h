@@ -1,5 +1,4 @@
-// Bounded-exhaustive schedule exploration (stateless model checking
-// with replay).
+// Naive bounded-exhaustive schedule enumeration — ORACLE ONLY.
 //
 // Enumerates every interleaving of the first `max_depth` schedule
 // points of a scenario; beyond the bound the schedule continues
@@ -7,12 +6,13 @@
 // re-runs the scenario from scratch, so scenario state must be built
 // inside the callback.
 //
-// DEPRECATED for certification: sched/dpor.h explores the same space
-// with dynamic partial-order reduction (orders of magnitude fewer
-// schedules, no depth bound needed on small configs). This naive
-// enumerator is retained only as the oracle that DPOR is cross-checked
-// against (tests/analysis/dpor_cross_test.cpp) and as the baseline in
-// bench/bench_dpor.cpp; do not build new certification on it.
+// This enumerator is NOT a certification engine: it lives in
+// sched::oracle and exists solely as the independent ground truth that
+// the DPOR engine (sched/dpor.h) is cross-validated against
+// (tests/analysis/dpor_cross_test.cpp, verify_dpor --cross-validate)
+// and as the baseline row in bench/bench_dpor.cpp. All certification —
+// CI certificates, verify_dpor, chaos upgrades — goes through
+// explore_dpor. Do not add new callers outside oracles and benchmarks.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +20,7 @@
 
 #include "sched/sim_scheduler.h"
 
-namespace compreg::sched {
+namespace compreg::sched::oracle {
 
 // Builds one instance of the scenario into `sim` (fresh shared objects,
 // spawn all processes) and returns a verifier invoked after run()
@@ -37,4 +37,4 @@ struct ExploreStats {
 ExploreStats explore(const Scenario& scenario, int max_depth,
                      std::uint64_t max_schedules = 1'000'000);
 
-}  // namespace compreg::sched
+}  // namespace compreg::sched::oracle

@@ -30,9 +30,14 @@ void point(const Access& access) {
 }
 
 void observe(const Access& access) {
-  AccessObserver* obs = access_observer();
+  ThreadContext& ctx = thread_context();
+  // A scheduler-local observer (SimScheduler::set_observer) shadows the
+  // process-global slot so concurrent simulators keep their access
+  // streams apart (parallel DPOR workers).
+  AccessObserver* obs =
+      ctx.scheduler != nullptr ? ctx.scheduler->observer() : nullptr;
+  if (obs == nullptr) obs = access_observer();
   if (obs != nullptr) [[unlikely]] {
-    ThreadContext& ctx = thread_context();
     // Under the simulator the calling process holds the turn here, so
     // trace().size() is this access's schedule position and observer
     // calls are serialized by the lockstep.

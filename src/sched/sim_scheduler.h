@@ -69,6 +69,16 @@ class SimScheduler {
   void inject_crash_on_next_grant(int proc);
   void inject_hang_on_next_grant(int proc);
 
+  // Per-scheduler access observer: labeled accesses reported from this
+  // scheduler's virtual processes go here instead of the process-global
+  // observer slot (sched/access.h). This is what lets several
+  // SimSchedulers run concurrently on different threads — parallel DPOR
+  // workers each own a scheduler + recorder pair — without fighting
+  // over one global installation. Null (the default) falls back to the
+  // global observer.
+  void set_observer(AccessObserver* observer) { observer_ = observer; }
+  AccessObserver* observer() const { return observer_; }
+
   // The process id chosen at each schedule point, in order. Useful for
   // asserting that a scripted schedule was actually followed.
   const std::vector<int>& trace() const { return trace_; }
@@ -100,6 +110,7 @@ class SimScheduler {
   void proc_main(int id);
 
   SchedulePolicy& policy_;
+  AccessObserver* observer_ = nullptr;
   std::deque<Proc> procs_;  // deque: semaphores are immovable
   std::binary_semaphore control_{0};
   std::vector<int> trace_;

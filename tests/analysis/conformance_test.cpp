@@ -255,7 +255,7 @@ TEST(MutantDetection, SharedBroadcastFlaggedInEveryInterleaving) {
   ConformanceChecker checker;
   sched::ScopedAccessObserver observe(&checker);
   std::uint64_t violations_seen = 0;
-  sched::Scenario scenario =
+  sched::oracle::Scenario scenario =
       [&](sched::SimScheduler& sim) -> std::function<void()> {
     checker.reset();
     auto mutant = std::make_shared<mutants::SharedBroadcastMutant>();
@@ -274,7 +274,7 @@ TEST(MutantDetection, SharedBroadcastFlaggedInEveryInterleaving) {
       ++violations_seen;
     };
   };
-  const sched::ExploreStats stats = sched::explore(scenario, /*max_depth=*/4);
+  const sched::oracle::ExploreStats stats = sched::oracle::explore(scenario, /*max_depth=*/4);
   EXPECT_TRUE(stats.exhausted);
   EXPECT_EQ(stats.schedules, 2u);  // two writes, C(2,1) interleavings
   EXPECT_EQ(violations_seen, stats.schedules);
@@ -315,7 +315,7 @@ TEST(ShippedImplementations, CleanUnderExhaustiveSweep) {
   ConformanceChecker checker;
   sched::ScopedAccessObserver observe(&checker);
   for (int which = 0; which < 6; ++which) {
-    sched::Scenario scenario =
+    sched::oracle::Scenario scenario =
         [&](sched::SimScheduler& sim) -> std::function<void()> {
       checker.reset();
       std::shared_ptr<core::Snapshot<std::uint64_t>> snap =
@@ -341,8 +341,8 @@ TEST(ShippedImplementations, CleanUnderExhaustiveSweep) {
             << kShippedNames[which] << ":\n" << report.text();
       };
     };
-    const sched::ExploreStats stats =
-        sched::explore(scenario, /*max_depth=*/5, /*max_schedules=*/5'000);
+    const sched::oracle::ExploreStats stats =
+        sched::oracle::explore(scenario, /*max_depth=*/5, /*max_schedules=*/5'000);
     EXPECT_GT(stats.schedules, 1u) << kShippedNames[which];
   }
 }

@@ -38,7 +38,7 @@ struct Enumeration {
 Enumeration enumerate_naive(const SnapFactory& make,
                             const lin::WorkloadConfig& cfg) {
   Enumeration out;
-  sched::Scenario scenario =
+  sched::oracle::Scenario scenario =
       [&](sched::SimScheduler& sim) -> std::function<void()> {
     std::shared_ptr<core::Snapshot<std::uint64_t>> snap = make();
     auto rec = lin::spawn_sim_workload(sim, *snap, cfg);
@@ -47,8 +47,8 @@ Enumeration enumerate_naive(const SnapFactory& make,
       if (!r.ok) out.violations.insert(r.violation);
     };
   };
-  const sched::ExploreStats st =
-      sched::explore(scenario, /*max_depth=*/64, /*max_schedules=*/500000);
+  const sched::oracle::ExploreStats st =
+      sched::oracle::explore(scenario, /*max_depth=*/64, /*max_schedules=*/500000);
   EXPECT_TRUE(st.exhausted) << "oracle enumeration truncated — shrink the "
                                "configuration";
   EXPECT_LE(st.max_points, 64u);

@@ -74,7 +74,7 @@ TEST(CompositeSimTest, TinyHistoriesAlsoPassWingGong) {
 // write, 1 scan) is explored and checked.
 TEST(CompositeSimTest, ExhaustiveMicroScenario) {
   std::uint64_t violations = 0;
-  sched::Scenario scenario =
+  sched::oracle::Scenario scenario =
       [&](sched::SimScheduler& sim) -> std::function<void()> {
     auto reg = std::make_shared<CompositeRegister<std::uint64_t>>(2, 1, 0);
     auto rec = std::make_shared<lin::HistoryRecorder>(
@@ -115,8 +115,8 @@ TEST(CompositeSimTest, ExhaustiveMicroScenario) {
       if (!lin::check_wing_gong(h).ok) ++violations;
     };
   };
-  const sched::ExploreStats stats =
-      sched::explore(scenario, /*max_depth=*/8, /*max_schedules=*/200000);
+  const sched::oracle::ExploreStats stats =
+      sched::oracle::explore(scenario, /*max_depth=*/8, /*max_schedules=*/200000);
   EXPECT_EQ(violations, 0u);
   EXPECT_GT(stats.schedules, 100u);  // genuinely explored many schedules
 }
@@ -127,7 +127,7 @@ TEST(CompositeSimTest, ExhaustiveMicroScenario) {
 // interleaving of the first 8 accesses, deterministic tail.
 TEST(CompositeSimTest, ExhaustiveScanVersusTwoZeroWrites) {
   std::uint64_t violations = 0;
-  sched::Scenario scenario =
+  sched::oracle::Scenario scenario =
       [&](sched::SimScheduler& sim) -> std::function<void()> {
     auto reg = std::make_shared<CompositeRegister<std::uint64_t>>(2, 1, 0);
     auto rec = std::make_shared<lin::HistoryRecorder>(
@@ -161,8 +161,8 @@ TEST(CompositeSimTest, ExhaustiveScanVersusTwoZeroWrites) {
       if (!lin::check_wing_gong(h).ok) ++violations;
     };
   };
-  const sched::ExploreStats stats =
-      sched::explore(scenario, /*max_depth=*/8, /*max_schedules=*/100000);
+  const sched::oracle::ExploreStats stats =
+      sched::oracle::explore(scenario, /*max_depth=*/8, /*max_schedules=*/100000);
   EXPECT_EQ(violations, 0u);
   EXPECT_TRUE(stats.exhausted);
   EXPECT_GT(stats.schedules, 50u);

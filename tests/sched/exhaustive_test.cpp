@@ -8,7 +8,7 @@
 
 #include "registers/word_register.h"
 
-namespace compreg::sched {
+namespace compreg::sched::oracle {
 namespace {
 
 // Two processes, each taking N steps: interleavings of the first
@@ -95,4 +95,4 @@ TEST(ExhaustiveTest, VerifierRunsPerSchedule) {
 }
 
 }  // namespace
-}  // namespace compreg::sched
+}  // namespace compreg::sched::oracle

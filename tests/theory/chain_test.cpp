@@ -95,7 +95,7 @@ TEST(RegularBitTest, RawSafeBitLacksThatProperty) {
 // between overlapping reads, so we deliberately do NOT assert
 // monotonicity.
 TEST(RegularBitTest, ExhaustiveSingleTransitionRegularity) {
-  sched::Scenario scenario =
+  sched::oracle::Scenario scenario =
       [](sched::SimScheduler& sim) -> std::function<void()> {
     auto bit = std::make_shared<RegularBit>(false);
     auto write_done = std::make_shared<bool>(false);
@@ -113,7 +113,7 @@ TEST(RegularBitTest, ExhaustiveSingleTransitionRegularity) {
     });
     return [failed] { EXPECT_FALSE(*failed); };
   };
-  const sched::ExploreStats stats = sched::explore(scenario, 10, 100000);
+  const sched::oracle::ExploreStats stats = sched::oracle::explore(scenario, 10, 100000);
   EXPECT_TRUE(stats.exhausted);
 }
 

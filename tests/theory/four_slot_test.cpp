@@ -97,7 +97,7 @@ TEST(SimFourSlotTest, RegularBitsAdmitNewOldInversion) {
 // the first 10 primitive accesses of (2 writes || 2 reads).
 TEST(SimFourSlotTest, ExhaustiveMicroAtomicBits) {
   std::uint64_t violations = 0;
-  sched::Scenario scenario =
+  sched::oracle::Scenario scenario =
       [&](sched::SimScheduler& sim) -> std::function<void()> {
     auto reg = std::make_shared<SimFourSlot<int, SimAtomicBit>>(0);
     auto hist = std::make_shared<lin::RegisterHistory>();
@@ -125,8 +125,8 @@ TEST(SimFourSlotTest, ExhaustiveMicroAtomicBits) {
       if (!lin::check_register_atomicity(*hist).ok) ++violations;
     };
   };
-  const sched::ExploreStats stats =
-      sched::explore(scenario, /*max_depth=*/10, /*max_schedules=*/200000);
+  const sched::oracle::ExploreStats stats =
+      sched::oracle::explore(scenario, /*max_depth=*/10, /*max_schedules=*/200000);
   EXPECT_EQ(violations, 0u);
   EXPECT_TRUE(stats.exhausted);
   EXPECT_GT(stats.schedules, 100u);

@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Static lint: shared-memory accesses must announce schedule points.
+
+The simulator (sched/sim_scheduler.h) and every analysis built on it —
+DPOR race reversal, dependence-aware sleep sets, class-orbit covering,
+the conformance analyzer — see an execution ONLY through the labeled
+sched::point()/sched::observe() calls that implementations interleave
+with their shared-memory operations. A raw std::atomic op or mutex
+acquisition with no schedule point in the same function is invisible to
+the scheduler: schedules cannot preempt around it, DPOR cannot reverse
+races through it, and a certificate produced over such code silently
+under-approximates the schedule space.
+
+This lint enforces the discipline mechanically over the implementation
+trees (src/registers, src/baselines, src/net): every function whose
+body performs a synchronization operation (atomic load/store/RMW,
+mutex lock/unlock, lock_guard/unique_lock/scoped_lock construction)
+must also contain at least one labeled schedule-point call
+(sched::point / sched::observe) or a ScopedAccessObserver.
+
+Exemptions:
+  - Constructors and destructors: they run before the object is shared
+    (or after the last reader detaches), outside the scheduled region.
+  - Functions carrying a `// sched-lint: exempt(<reason>)` marker on
+    any line of their body or header. The reason is mandatory — an
+    exemption without a written justification is itself a finding.
+
+Usage:
+  lint_schedule_points.py [--root DIR] [--self-test] [PATHS...]
+
+Exit codes: 0 clean, 1 findings, 64 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DEFAULT_TREES = ("src/registers", "src/baselines", "src/net")
+
+SYNC_OP = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"lock|unlock|try_lock)\s*\("
+    r"|std::(lock_guard|unique_lock|scoped_lock)\b"
+)
+
+SCHED_POINT = re.compile(
+    r"\bsched::(point|observe)\s*\(|\bScopedAccessObserver\b"
+)
+
+EXEMPT_MARKER = re.compile(r"sched-lint:\s*exempt\s*\(([^)]*)\)")
+EXEMPT_NO_REASON = re.compile(r"sched-lint:\s*exempt(?!\s*\()")
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else",
+    "sizeof", "alignas", "alignof", "decltype", "static_assert",
+    "new", "delete", "throw", "case", "default", "co_return",
+}
+
+NON_FUNCTION_HEADS = re.compile(
+    r"^\s*(namespace|struct|class|union|enum|extern)\b"
+)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else c)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def function_name(header):
+    """Identifier before the first top-level '(' of a scope header."""
+    depth = 0
+    for idx, ch in enumerate(header):
+        if ch in "<[":
+            depth += 1
+        elif ch in ">]":
+            depth = max(0, depth - 1)
+        elif ch == "(" and depth == 0:
+            m = re.search(r"([~\w:]+)\s*$", header[:idx])
+            if not m:
+                return None
+            return m.group(1).split("::")[-1]
+    return None
+
+
+def parse_scopes(clean):
+    """Brace-matched scopes: (header, is_function, name, start, end) line spans.
+
+    A scope is function-like when its header ends in ')' (plus trailing
+    specifiers), names a non-keyword identifier before its first '(',
+    and is not a namespace/class/struct/enum/union head. Lambdas and
+    uniform-init braces become non-function scopes; ops inside them
+    attribute to the nearest enclosing function scope.
+    """
+    scopes = []
+    stack = []  # (header, is_function, name, start_line)
+    header_start = 0
+    line = 1
+    header_chars = []
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "\n":
+            line += 1
+            header_chars.append(c)
+        elif c == "{":
+            header = "".join(header_chars).strip()
+            # Constructor member-init lists re-open after ':'; keep the
+            # whole header so the name extraction sees Foo::Foo(...).
+            name = function_name(header)
+            trimmed = re.sub(
+                r"(\)|\bconst\b|\bnoexcept\b|\boverride\b|\bfinal\b|"
+                r"->\s*[\w:<>,*&\s]+|:\s*[^{}]*)\s*$",
+                ")",
+                header,
+            )
+            is_fn = bool(
+                header
+                and not NON_FUNCTION_HEADS.search(header)
+                and name
+                and name.lstrip("~") not in CONTROL_KEYWORDS
+                and trimmed.endswith(")")
+                and "(" in header
+            )
+            stack.append((header, is_fn, name, line))
+            header_chars = []
+        elif c == "}":
+            if stack:
+                header, is_fn, name, start = stack.pop()
+                scopes.append((header, is_fn, name, start, line))
+            header_chars = []
+        elif c in ";":
+            header_chars = []
+        else:
+            header_chars.append(c)
+        i += 1
+    return scopes
+
+
+def class_names(clean):
+    return set(
+        re.findall(r"\b(?:class|struct)\s+(?:alignas\s*\([^)]*\)\s*)?(\w+)", clean)
+    )
+
+
+def lint_file(path, text):
+    findings = []
+    clean = strip_comments_and_strings(text)
+    lines = text.splitlines()
+    clean_lines = clean.splitlines()
+
+    exempt_lines = {}
+    for lineno, raw in enumerate(lines, 1):
+        m = EXEMPT_MARKER.search(raw)
+        if m:
+            if not m.group(1).strip():
+                findings.append(
+                    (lineno, "sched-lint: exempt() marker has an empty "
+                             "reason; justify the exemption")
+                )
+            exempt_lines[lineno] = m.group(1).strip()
+        elif EXEMPT_NO_REASON.search(raw):
+            findings.append(
+                (lineno, "sched-lint: exempt marker without a (reason); "
+                         "write sched-lint: exempt(<why>)")
+            )
+
+    scopes = parse_scopes(clean)
+    ctors = class_names(clean)
+    fn_scopes = [s for s in scopes if s[1]]
+
+    def enclosing_function(lineno):
+        best = None
+        for header, _, name, start, end in fn_scopes:
+            if start <= lineno <= end:
+                if best is None or start > best[2]:
+                    best = (header, name, start, end)
+        return best
+
+    for lineno, cl in enumerate(clean_lines, 1):
+        for m in SYNC_OP.finditer(cl):
+            fn = enclosing_function(lineno)
+            if fn is None:
+                findings.append(
+                    (lineno,
+                     f"synchronization op `{m.group(0).strip()}` outside "
+                     "any recognized function scope")
+                )
+                continue
+            header, name, start, end = fn
+            if name and (name.lstrip("~") in ctors or name.startswith("~")):
+                continue  # ctor/dtor: runs outside the shared region
+            # A marker inside the body, on the header line, or on the
+            # line(s) directly above the function exempts it.
+            if any(start - 2 <= el <= end for el in exempt_lines):
+                continue
+            body = "\n".join(clean_lines[start - 1:end])
+            if SCHED_POINT.search(body):
+                continue
+            findings.append(
+                (lineno,
+                 f"`{name or header[:40]}` performs "
+                 f"`{m.group(0).strip()}` with no sched::point/"
+                 "sched::observe in scope — invisible to the scheduler; "
+                 "add a labeled point or sched-lint: exempt(<reason>)")
+            )
+            break  # one finding per op line is enough
+    return findings
+
+
+SELF_TEST_BAD = """
+#include <atomic>
+namespace compreg::registers {
+class Sneaky {
+ public:
+  Sneaky() { v_.store(0); }                  // ctor: auto-exempt
+  ~Sneaky() { (void)v_.load(); }             // dtor: auto-exempt
+  int quiet_read() { return v_.load(); }     // FINDING: no point
+  int loud_read() {
+    sched::point(access_.read(0));
+    return v_.load();
+  }
+  // sched-lint: exempt(writer-private maintenance, not shared state)
+  void maintenance() { v_.exchange(1); }
+ private:
+  std::atomic<int> v_{0};
+};
+}  // namespace compreg::registers
+"""
+
+
+def self_test():
+    findings = lint_file("<self-test>", SELF_TEST_BAD)
+    bad = [f for f in findings if "quiet_read" in f[1]]
+    extra = [f for f in findings if "quiet_read" not in f[1]]
+    if len(bad) != 1 or extra:
+        print("lint self-test FAILED:", file=sys.stderr)
+        for lineno, msg in findings:
+            print(f"  <self-test>:{lineno}: {msg}", file=sys.stderr)
+        print(f"  expected exactly one finding (quiet_read), got "
+              f"{len(bad)} + {len(extra)} others", file=sys.stderr)
+        return 1
+    print("lint self-test OK: seeded violation flagged, exemptions honored")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint a built-in seeded violation and exit")
+    ap.add_argument("paths", nargs="*",
+                    help=f"trees/files to lint (default: {DEFAULT_TREES})")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    targets = args.paths or [os.path.join(args.root, t) for t in DEFAULT_TREES]
+    files = []
+    for t in targets:
+        if os.path.isfile(t):
+            files.append(t)
+        elif os.path.isdir(t):
+            for dirpath, _, names in os.walk(t):
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(names)
+                    if f.endswith((".h", ".cc", ".cpp", ".hpp"))
+                )
+        else:
+            print(f"lint_schedule_points: no such path: {t}", file=sys.stderr)
+            sys.exit(64)
+
+    total = 0
+    for path in sorted(files):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for lineno, msg in lint_file(path, text):
+            print(f"{path}:{lineno}: {msg}")
+            total += 1
+    if total:
+        print(f"lint_schedule_points: {total} finding(s)")
+        sys.exit(1)
+    print(f"lint_schedule_points: {len(files)} files clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,38 @@
 // explicit "BOUNDED, NOT CERTIFIED" banner: clean means nothing was
 // found within the bound, not that nothing exists.
 //
+// --symmetry readers additionally quotients the schedule space by
+// permutations of the reader processes (procs C..C+R-1 of the standard
+// workload, which run identical programs on interchangeable state): the
+// engine explores one canonical representative per reader-permutation
+// orbit, cutting the space by up to R!. Rejected when a fault plan
+// targets a reader (the group members would stop being
+// interchangeable) and for --impl net with R >= 2 (reader endpoints
+// seed their retry-jitter RNG by network node id, so reader programs
+// are not step-isomorphic there). --cross-validate re-runs the same
+// exploration unreduced and fails loudly if the two engines disagree
+// on the verdict — the tool-level soundness check; the test suite
+// additionally proves identical violation *sets* on seeded mutants
+// (tests/analysis/symmetry_cross_test.cpp).
+//
+// --covering (implied by --symmetry readers) turns on class-orbit
+// covering: each execution's Mazurkiewicz class gets a canonical
+// signature, and an execution whose class was already analyzed spawns
+// no further race reversals. With the trivial group this does not
+// change the certified claim — one representative per class is still
+// analyzed — it only suppresses the re-explorations classic DPOR's
+// sleep sets miss, which on register workloads is the difference
+// between thousands and millions of executions. Sound for --impl net
+// (it is symmetry-free), and the mechanism that makes small net
+// configurations certifiable at all.
+//
+// --jobs N runs executions on N worker threads. Exploration is
+// deterministic by construction — wave composition and integration
+// order never depend on worker timing — so every statistic, banner and
+// witness is byte-identical across --jobs values; --certificate FILE
+// writes a timing-free certificate whose bytes the suite diffs across
+// --jobs 1/8 to enforce exactly that.
+//
 // Chaos mode (--chaos / --crash-prob / --stall / --plan) applies ONE
 // fault plan — fixed by --plan or derived once from --seed — to every
 // explored schedule, certifying "all schedules under this plan". Hang
@@ -36,7 +68,7 @@
 // --schedule "0,1,1,0,..." replays ONE exact schedule (the format
 // emitted in artifacts' "# schedule" line) instead of exploring —
 // violations reproduce with a single copy-paste of the artifact's
-// "# replay:" line.
+// "# replay:" line, with no symmetry or jobs flags needed.
 //
 // The watchdog mirrors verify_fuzz: a wedged exploration exits 2 with
 // an artifact naming the in-flight schedule prefix and the conformance
@@ -47,24 +79,29 @@
 //                      |seqlock|mutex|net]
 //               [--components N] [--readers N] [--ops N] [--seed N]
 //               [--max-schedules N] [--depth-bound N] [--no-sleep-sets]
-//               [--dep-conservative] [--conformance] [--witness]
+//               [--dep-conservative] [--symmetry off|readers]
+//               [--covering] [--cross-validate] [--jobs N]
+//               [--certificate FILE]
+//               [--conformance] [--witness]
 //               [--chaos] [--crash-prob PERMILLE] [--stall PERMILLE]
 //               [--plan SPEC] [--net-f F] [--net-recover PERMILLE]
 //               [--net-plan SPEC] [--amnesia none|ack|rejoin]
 //               [--schedule CSV] [--out FILE] [--watchdog SECONDS]
 //
 // Exit codes: 0 = explored space clean (certified or bounded-clean);
-// 1 = violation found (artifact written to --out); 2 = watchdog
-// timeout; 64 = usage error.
+// 1 = violation found (artifact written to --out) or cross-validation
+// mismatch; 2 = watchdog timeout; 64 = usage error.
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -129,12 +166,20 @@ struct RunCtx {
 };
 
 // What the first failing execution saw, for the report and artifact.
+// With --jobs > 1 several workers can fail inside one wave; the mutex
+// in main() guards this, and the artifact is regenerated afterwards by
+// replaying the engine's (deterministic) witness schedule anyway.
 struct Outcome {
   const char* kind = "violation";
   std::string detail;
   compreg::lin::History history;
   std::string conf_dump;
 };
+
+const char* verdict_name(const compreg::sched::DporResult& r) {
+  if (!r.ok) return "violation";
+  return r.certified() ? "certified" : "bounded-clean";
+}
 
 }  // namespace
 
@@ -148,6 +193,11 @@ int main(int argc, char** argv) {
   int depth_bound = -1;
   bool sleep_sets = true;
   bool dep_conservative = false;
+  std::string symmetry_text = "off";
+  bool covering = false;
+  bool cross_validate = false;
+  int jobs = 1;
+  std::string certificate_path;
   bool conformance = false;
   bool witness = false;
   bool chaos = false;
@@ -190,6 +240,16 @@ int main(int argc, char** argv) {
       sleep_sets = false;
     } else if (!std::strcmp(argv[i], "--dep-conservative")) {
       dep_conservative = true;
+    } else if (!std::strcmp(argv[i], "--symmetry")) {
+      symmetry_text = next("--symmetry");
+    } else if (!std::strcmp(argv[i], "--covering")) {
+      covering = true;
+    } else if (!std::strcmp(argv[i], "--cross-validate")) {
+      cross_validate = true;
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      jobs = std::atoi(next("--jobs"));
+    } else if (!std::strcmp(argv[i], "--certificate")) {
+      certificate_path = next("--certificate");
     } else if (!std::strcmp(argv[i], "--conformance")) {
       conformance = true;
     } else if (!std::strcmp(argv[i], "--witness")) {
@@ -243,6 +303,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "permille values cap at 1000\n");
     return kExitUsage;
   }
+  if (jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return kExitUsage;
+  }
+  if (symmetry_text != "off" && symmetry_text != "readers") {
+    std::fprintf(stderr, "--symmetry takes off|readers\n");
+    return kExitUsage;
+  }
+  compreg::sched::SymmetrySpec symmetry;  // inactive by default
+  if (symmetry_text == "readers") {
+    symmetry.first = components;
+    symmetry.count = readers;
+    // R == 1 leaves the group trivial; class covering (identity orbit
+    // dedup) is still sound and still prunes, so keep it on.
+    covering = true;
+  }
+  if (symmetry.active() && impl == "net") {
+    // Reader endpoints seed their retry-backoff jitter RNG by network
+    // node id, so reader programs are NOT step-isomorphic over the
+    // simulated network: permuting readers changes the executions.
+    std::fprintf(stderr,
+                 "--symmetry readers is unsound for --impl net with "
+                 "--readers >= 2 (per-node jitter seeding breaks reader "
+                 "interchangeability); certify net configs with "
+                 "--readers 1 and --jobs instead\n");
+    return kExitUsage;
+  }
+  if (cross_validate && !symmetry.active()) {
+    std::fprintf(stderr,
+                 "--cross-validate compares the symmetry-reduced engine "
+                 "against the unreduced one; it needs --symmetry readers "
+                 "and --readers >= 2\n");
+    return kExitUsage;
+  }
   compreg::net::Amnesia amnesia = compreg::net::Amnesia::kNone;
   if (amnesia_text == "ack") {
     amnesia = compreg::net::Amnesia::kAckBeforePersist;
@@ -284,6 +378,22 @@ int main(int argc, char** argv) {
                  "use verify_fuzz --plan to exercise the watchdog\n");
     return kExitUsage;
   }
+  if (symmetry.active()) {
+    // A plan that crashes or stalls a specific reader destroys the
+    // readers' interchangeability; the engine would refuse too, but a
+    // usage error is friendlier than a CHECK abort.
+    bool targets_reader = false;
+    for (const auto& c : plan.crashes) targets_reader |= symmetry.member(c.proc);
+    for (const auto& s : plan.stalls) targets_reader |= symmetry.member(s.proc);
+    if (targets_reader) {
+      std::fprintf(stderr,
+                   "--symmetry readers is unsound under a fault plan that "
+                   "targets a reader process (procs %d..%d); restrict the "
+                   "plan to writers or drop --symmetry\n",
+                   components, components + readers - 1);
+      return kExitUsage;
+    }
+  }
   compreg::net::NetFaultPlan net_plan;
   if (!net_plan_text.empty()) {
     const auto parsed = compreg::net::NetFaultPlan::parse(net_plan_text);
@@ -304,6 +414,9 @@ int main(int argc, char** argv) {
         /*crash=*/150, static_cast<unsigned>(net_recover_permille));
   }
 
+  // The config line names everything that determines the explored
+  // schedule set — --jobs deliberately excluded (it only buys
+  // wall-clock; certificates must not depend on it).
   {
     std::ostringstream cfg;
     cfg << "impl=" << impl << " C=" << components << " R=" << readers
@@ -312,6 +425,8 @@ int main(int argc, char** argv) {
     if (depth_bound >= 0) cfg << " depth-bound=" << depth_bound;
     if (!sleep_sets) cfg << " -sleep-sets";
     if (dep_conservative) cfg << " +dep-conservative";
+    if (symmetry.active()) cfg << " symmetry=readers";
+    if (covering) cfg << " +covering";
     if (impl == "net") cfg << " f=" << net_f
                            << " replicas=" << (2 * net_f + 1);
     if (amnesia != compreg::net::Amnesia::kNone) {
@@ -324,13 +439,19 @@ int main(int argc, char** argv) {
     artifact.config_line = cfg.str();
   }
   std::printf("verify_dpor: %s\n", artifact.config_line.c_str());
+  if (jobs > 1) std::printf("  workers: %d\n", jobs);
 
   // Simulator serializes every step, so the ownership checker carries
   // the conformance burden; the vector-clock race detector is for
-  // free-running threads. The analyzer observes every execution (tee'd
-  // off the DPOR trace recorder) so a watchdog artifact always carries
-  // its report; --conformance gates whether findings fail the run.
-  compreg::analysis::AnalysisSession session(/*detect_races=*/false);
+  // free-running threads. One analyzer session per worker — each
+  // observes exactly its worker's executions (tee'd off that worker's
+  // DPOR trace recorder), so parallel workers never interleave their
+  // access streams; --conformance gates whether findings fail the run.
+  std::vector<std::unique_ptr<compreg::analysis::AnalysisSession>> sessions;
+  for (int w = 0; w < jobs; ++w) {
+    sessions.push_back(std::make_unique<compreg::analysis::AnalysisSession>(
+        /*detect_races=*/false));
+  }
 
   const ReplayFn make_replay = [&](std::uint64_t s, const std::string& p,
                                    const std::string& np,
@@ -357,16 +478,21 @@ int main(int argc, char** argv) {
       net_plan.empty() ? std::string() : net_plan.to_string();
   live.set(seed, plan_str, net_plan_str);
   Watchdog watchdog(watchdog_sec, artifact, progress, live, make_replay,
-                    [&session] { return session.report().dump(); });
+                    [&sessions] { return sessions[0]->report().dump(); });
 
+  std::mutex outcome_mu;
+  bool outcome_set = false;
   Outcome outcome;
   compreg::lin::ConformanceCounters conf_total;
 
   // One fresh scenario instance per explored execution. The returned
-  // verifier checks that execution's history and records the first
-  // failure's details for the report below.
+  // verifier checks that execution's history; everything it shares
+  // across workers (counters, first-failure outcome) sits behind
+  // outcome_mu. Per-worker analyzer state is keyed by dpor_worker_id().
   const compreg::sched::DporScenario scenario =
       [&](compreg::sched::SimScheduler& sim) {
+        compreg::analysis::AnalysisSession& session =
+            *sessions[static_cast<std::size_t>(compreg::sched::dpor_worker_id())];
         session.reset();
         auto ctx = std::make_shared<RunCtx>();
         if (impl == "net") {
@@ -385,52 +511,82 @@ int main(int argc, char** argv) {
         cfg.scans_per_reader = ops;
         ctx->rec = compreg::lin::spawn_sim_workload(sim, *ctx->snap, cfg);
         return [&, ctx]() -> bool {
+          compreg::analysis::AnalysisSession& worker_session =
+              *sessions[static_cast<std::size_t>(
+                  compreg::sched::dpor_worker_id())];
           const compreg::lin::History h = ctx->rec->merge();
-          compreg::analysis::AnalysisReport creport = session.report();
+          compreg::analysis::AnalysisReport creport = worker_session.report();
           // The durability auditor's findings ride the conformance
           // report; the fabric is alive here (ctx owns it).
           if (ctx->fab) {
             creport.merge_findings(
                 ctx->fab->fabric().net().durable().report());
           }
-          const compreg::lin::ConformanceCounters& cc = creport.counters;
-          conf_total.cells += cc.cells;
-          conf_total.swmr_cells += cc.swmr_cells;
-          conf_total.swsr_cells += cc.swsr_cells;
-          conf_total.mrmw_cells += cc.mrmw_cells;
-          conf_total.reads += cc.reads;
-          conf_total.writes += cc.writes;
-          conf_total.findings += creport.findings.size();
+          const char* kind = nullptr;
+          std::string detail;
           if (conformance && !creport.ok()) {
-            outcome.kind = "conformance findings";
-            outcome.detail = creport.findings.front().to_string();
-            outcome.history = h;
-            outcome.conf_dump = creport.dump();
-            return false;
+            kind = "conformance findings";
+            detail = creport.findings.front().to_string();
           }
-          const compreg::lin::CheckResult result =
-              compreg::lin::check_shrinking_lemma(h);
-          if (!result.ok) {
-            outcome.kind = "violation";
-            outcome.detail = result.violation;
-            outcome.history = h;
-            outcome.conf_dump = creport.dump();
-            return false;
+          if (kind == nullptr) {
+            const compreg::lin::CheckResult result =
+                compreg::lin::check_shrinking_lemma(h);
+            if (!result.ok) {
+              kind = "violation";
+              detail = result.violation;
+            }
           }
-          if (witness) {
+          if (kind == nullptr && witness) {
             const compreg::lin::Witness w =
                 compreg::lin::build_linearization(h);
             if (!w.ok) {
-              outcome.kind = "witness failure";
-              outcome.detail = w.error;
-              outcome.history = h;
-              outcome.conf_dump = creport.dump();
-              return false;
+              kind = "witness failure";
+              detail = w.error;
             }
           }
-          return true;
+          {
+            std::lock_guard<std::mutex> lock(outcome_mu);
+            const compreg::lin::ConformanceCounters& cc = creport.counters;
+            conf_total.cells += cc.cells;
+            conf_total.swmr_cells += cc.swmr_cells;
+            conf_total.swsr_cells += cc.swsr_cells;
+            conf_total.mrmw_cells += cc.mrmw_cells;
+            conf_total.reads += cc.reads;
+            conf_total.writes += cc.writes;
+            conf_total.findings += creport.findings.size();
+            if (kind != nullptr && !outcome_set) {
+              outcome_set = true;
+              outcome.kind = kind;
+              outcome.detail = detail;
+              outcome.history = h;
+              outcome.conf_dump = creport.dump();
+            }
+          }
+          return kind == nullptr;
         };
       };
+
+  // Replay one exact schedule on the main thread (worker id 0) — used
+  // by --schedule mode and to regenerate the artifact for the engine's
+  // canonical witness after a parallel exploration.
+  const auto run_schedule = [&](const std::vector<int>& script) -> bool {
+    compreg::sched::ScriptPolicy base(script);
+    std::optional<compreg::fault::FaultInjectingPolicy> faulty;
+    compreg::sched::SchedulePolicy* policy = &base;
+    if (!plan.empty()) {
+      faulty.emplace(base, plan);
+      policy = &*faulty;
+    }
+    compreg::sched::SimScheduler sim(*policy);
+    auto verifier = scenario(sim);
+    if (faulty) faulty->attach(sim);
+    {
+      compreg::sched::ScopedAccessObserver observe(sessions[0].get());
+      sim.run();
+    }
+    progress.fetch_add(1);
+    return verifier();
+  };
 
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -443,22 +599,7 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     live.set(seed, plan_str, net_plan_str, schedule_text);
-    compreg::sched::ScriptPolicy base(*script);
-    std::optional<compreg::fault::FaultInjectingPolicy> faulty;
-    compreg::sched::SchedulePolicy* policy = &base;
-    if (!plan.empty()) {
-      faulty.emplace(base, plan);
-      policy = &*faulty;
-    }
-    compreg::sched::SimScheduler sim(*policy);
-    auto verifier = scenario(sim);
-    if (faulty) faulty->attach(sim);
-    {
-      compreg::sched::ScopedAccessObserver observe(&session);
-      sim.run();
-    }
-    progress.fetch_add(1);
-    if (!verifier()) {
+    if (!run_schedule(*script)) {
       std::printf("REPLAY FAILED (%s): %s\n", outcome.kind,
                   outcome.detail.c_str());
       compreg::lin::dump_history(outcome.history, std::cout);
@@ -473,34 +614,41 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  compreg::sched::DporOptions opts;
-  opts.max_schedules = max_schedules;
-  opts.depth_bound = depth_bound;
-  opts.sleep_sets = sleep_sets;
-  opts.dependency.conservative_reads = dep_conservative;
-  opts.plan = plan;
-  opts.tee = &session;
-  opts.on_execution = [&](const std::vector<int>& prefix,
-                          std::uint64_t done) {
-    live.set(seed, plan_str, net_plan_str, schedule_csv(prefix));
-    progress.store(done + 1);
-    if (done > 0 && done % 20000 == 0) {
-      std::printf("  %llu schedules explored...\n",
-                  static_cast<unsigned long long>(done));
-      std::fflush(stdout);
-    }
+  const auto explore = [&](const compreg::sched::SymmetrySpec& sym,
+                           bool cover) -> compreg::sched::DporResult {
+    compreg::sched::DporOptions opts;
+    opts.max_schedules = max_schedules;
+    opts.depth_bound = depth_bound;
+    opts.sleep_sets = sleep_sets;
+    opts.dependency.conservative_reads = dep_conservative;
+    opts.plan = plan;
+    opts.symmetry = sym;
+    opts.class_covering = cover;
+    opts.jobs = jobs;
+    opts.tee_for_worker = [&](int w) -> compreg::sched::AccessObserver* {
+      return sessions[static_cast<std::size_t>(w)].get();
+    };
+    opts.on_execution = [&](const std::vector<int>& prefix,
+                            std::uint64_t done) {
+      live.set(seed, plan_str, net_plan_str, schedule_csv(prefix));
+      progress.store(done + 1);
+      if (done > 0 && done % 20000 == 0) {
+        std::printf("  %llu schedules explored...\n",
+                    static_cast<unsigned long long>(done));
+        std::fflush(stdout);
+      }
+    };
+    return compreg::sched::explore_dpor(scenario, opts);
   };
 
-  const compreg::sched::DporResult result =
-      compreg::sched::explore_dpor(scenario, opts);
+  const compreg::sched::DporResult result = explore(symmetry, covering);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   const auto& st = result.stats;
 
-  // Reduction report: the naive bound is the product of |enabled| over
-  // one execution — astronomically large in general, so report both it
-  // and the reduction factor in log10.
+  // Reduction report: the naive bound is astronomically large in
+  // general, so report both it and the reduction factor in log10.
   const double explored_log10 =
       st.schedules > 0 ? std::log10(static_cast<double>(st.schedules)) : 0.0;
   std::printf("  schedules explored: %llu\n",
@@ -512,12 +660,55 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.backtrack_points),
       static_cast<unsigned long long>(st.sleep_set_hits),
       static_cast<unsigned long long>(st.max_points));
-  std::printf("  wall time: %.2f s\n", wall);
+  if (symmetry.active()) {
+    std::printf("  symmetry remaps: %llu\n",
+                static_cast<unsigned long long>(st.symmetry_remaps));
+  }
+  if (symmetry.active() || covering) {
+    std::printf("  orbit hits (covered classes skipped): %llu\n",
+                static_cast<unsigned long long>(st.orbit_hits));
+  }
+  std::printf("  wall time: %.2f s (%llu waves, %d worker%s)\n", wall,
+              static_cast<unsigned long long>(st.waves), jobs,
+              jobs == 1 ? "" : "s");
   if (conformance) {
     std::printf("conformance totals: %s\n", conf_total.summary().c_str());
   }
 
+  if (!certificate_path.empty()) {
+    // Timing-free and jobs-free by construction: byte-identical across
+    // --jobs values for the same configuration (the suite diffs this).
+    std::ofstream cert(certificate_path);
+    cert << "# verify_dpor certificate\n"
+         << "# " << artifact.config_line << "\n"
+         << "verdict: " << verdict_name(result) << "\n"
+         << "schedules: " << st.schedules << "\n"
+         << "backtrack_points: " << st.backtrack_points << "\n"
+         << "sleep_set_hits: " << st.sleep_set_hits << "\n"
+         << "symmetry_remaps: " << st.symmetry_remaps << "\n"
+         << "orbit_hits: " << st.orbit_hits << "\n"
+         << "waves: " << st.waves << "\n"
+         << "max_points: " << st.max_points << "\n";
+    if (!result.ok) {
+      cert << "violation_schedule: " << schedule_csv(result.violation_schedule)
+           << "\n";
+    }
+  }
+
   if (!result.ok) {
+    // Regenerate the outcome from the engine's canonical witness: with
+    // --jobs > 1 the first failure *observed* (recorded above) may be a
+    // different schedule than the deterministic witness the engine
+    // reports, and the artifact must match its "# schedule" line.
+    {
+      std::lock_guard<std::mutex> lock(outcome_mu);
+      outcome_set = false;
+    }
+    const bool replay_ok = run_schedule(result.violation_schedule);
+    if (replay_ok) {
+      std::fprintf(stderr,
+                   "internal error: witness schedule passed on replay\n");
+    }
     const std::string sched = schedule_csv(result.violation_schedule);
     std::printf("SCHEDULE-SPACE %s: %s\n",
                 std::strcmp(outcome.kind, "violation") == 0
@@ -536,9 +727,57 @@ int main(int argc, char** argv) {
     return kExitViolation;
   }
 
+  if (cross_validate) {
+    // Soundness check: the unreduced engine over the same configuration
+    // must reach the same verdict. (Identical violation *sets* on
+    // seeded mutants are proved by tests/analysis/symmetry_cross_test;
+    // here the reduced run was clean, so the unreduced one must be
+    // too.) The unreduced space is up to R! larger — budget-capped runs
+    // may legitimately hit max-schedules, which still cross-validates
+    // as long as nothing in the larger explored set fails.
+    std::printf("cross-validating against the unreduced engine...\n");
+    {
+      std::lock_guard<std::mutex> lock(outcome_mu);
+      outcome_set = false;
+    }
+    const compreg::sched::DporResult unreduced =
+        explore(compreg::sched::SymmetrySpec{}, false);
+    std::printf("  unreduced schedules: %llu (reduced: %llu, factor %.2fx)\n",
+                static_cast<unsigned long long>(unreduced.stats.schedules),
+                static_cast<unsigned long long>(st.schedules),
+                st.schedules > 0
+                    ? static_cast<double>(unreduced.stats.schedules) /
+                          static_cast<double>(st.schedules)
+                    : 0.0);
+    if (!unreduced.ok) {
+      std::printf(
+          "SYMMETRY CROSS-VALIDATION FAILED: reduced engine certified "
+          "clean but the unreduced engine found: %s\nfailing schedule: "
+          "%s\n(canonical form: %s)\n",
+          outcome.detail.c_str(),
+          schedule_csv(unreduced.violation_schedule).c_str(),
+          schedule_csv(compreg::sched::canonical_schedule(
+                           unreduced.violation_schedule, symmetry))
+              .c_str());
+      return kExitViolation;
+    }
+    if (unreduced.certified() != result.certified()) {
+      // Reduced certified but unreduced truncated (or vice versa) is
+      // a budget artifact, not a soundness failure — say so.
+      std::printf(
+          "  note: verdicts are %s (reduced) vs %s (unreduced); the "
+          "engines agree nothing fails in the explored space\n",
+          verdict_name(result), verdict_name(unreduced));
+    } else {
+      std::printf("cross-validation OK: both engines report %s\n",
+                  verdict_name(result));
+    }
+  }
+
   if (result.certified()) {
-    std::printf("certified: all %llu schedules pass\n",
-                static_cast<unsigned long long>(st.schedules));
+    std::printf("certified: all %llu schedules pass%s\n",
+                static_cast<unsigned long long>(st.schedules),
+                symmetry.active() ? " (up to reader permutation)" : "");
   } else {
     std::printf(
         "BOUNDED, NOT CERTIFIED: exploration truncated (%s%s%s); clean "
