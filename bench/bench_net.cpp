@@ -142,7 +142,11 @@ int write_json(const char* path) {
     std::fprintf(stderr, "bench_net: cannot open %s for writing\n", path);
     return 1;
   }
-  std::fprintf(out, "[\n");
+  // schema_version 1: {"schema_version", "bench", "rows": [...]}. Bump
+  // it when a row key changes meaning; downstream diffing keys on it
+  // (same contract as the harness's BENCH_transport.json).
+  std::fprintf(out, "{\n\"schema_version\": 1,\n\"bench\": \"net\",\n");
+  std::fprintf(out, "\"rows\": [\n");
   for (std::size_t i = 0; i < rows().size(); ++i) {
     const Row& r = rows()[i];
     std::fprintf(
@@ -164,7 +168,7 @@ int write_json(const char* path) {
         per_op(r.st.catchup_msgs, r.ops), r.st.dropped_down, r.ms,
         i + 1 < rows().size() ? "," : "");
   }
-  std::fprintf(out, "]\n");
+  std::fprintf(out, "]\n}\n");
   std::fclose(out);
   std::printf("\nwrote %zu rows to %s\n", rows().size(), path);
   return 0;

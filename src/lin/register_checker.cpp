@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lin/history.h"  // kPendingEnd
+
 namespace compreg::lin {
 
 namespace {
@@ -18,7 +20,18 @@ CheckResult check_regular_core(const RegisterHistory& h,
     if (sorted[i - 1].id == sorted[i].id) {
       return CheckResult{false, "duplicate write id"};
     }
-    if (sorted[i - 1].end >= sorted[i].start) {
+    // A pending write (end == kPendingEnd) is one whose invocation was
+    // abandoned — crash-interrupted, or degraded to Unavailable by the
+    // networked register's retry budget — but whose timestamped value
+    // may still take effect later. Its effective interval is unbounded,
+    // so overlapping the writer's subsequent operations is legitimate,
+    // not a serial-writer violation. The regularity checks below are
+    // already pending-safe: a pending write never satisfies
+    // `end < r.start`, so it can never render another value
+    // "overwritten", and its real-time start still bounds the
+    // future-write check.
+    if (sorted[i - 1].end != kPendingEnd &&
+        sorted[i - 1].end >= sorted[i].start) {
       return CheckResult{false, "writer operations overlap"};
     }
   }

@@ -18,6 +18,10 @@ namespace compreg::lin {
 struct RegWrite {
   std::uint64_t id = 0;  // write sequence number, 0 = initial value
   std::uint64_t start = 0;
+  // kPendingEnd (lin/history.h) marks an abandoned write — the writer
+  // crashed mid-operation, or the networked register degraded it to
+  // Unavailable — whose value may still take effect at any later time.
+  // Such a write legitimately overlaps everything after its start.
   std::uint64_t end = 0;
 };
 

@@ -90,41 +90,98 @@ std::string NetFaultPlan::to_string() const {
 }
 
 std::optional<NetFaultPlan> NetFaultPlan::parse(const std::string& text) {
+  return parse(text, nullptr);
+}
+
+std::optional<NetFaultPlan> NetFaultPlan::parse(const std::string& text,
+                                                std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<NetFaultPlan> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
   const auto specs = fault::plan_parse::split_specs(text);
-  if (!specs) return std::nullopt;
+  if (!specs) {
+    return fail(
+        "malformed plan: want 'kind:body[,kind:body]*' with no empty "
+        "specs or trailing commas");
+  }
   NetFaultPlan plan;
+  bool seen_drop = false;
+  bool seen_delay = false;
+  bool seen_dup = false;
+  bool seen_reorder = false;
+  const auto dup_spec = [&](const char* kind) {
+    return fail(std::string("duplicate ") + kind +
+                ": spec (each scalar fault kind may appear at most once)");
+  };
+  const auto node_range = [&](const char* kind, int node) {
+    return fail(std::string(kind) + ": node id " + std::to_string(node) +
+                " out of range (0.." + std::to_string(kMaxPlanNode) + ")");
+  };
   for (const auto& [kind, body] : *specs) {
     if (kind == "drop") {
-      if (!parse_permille(body, plan.drop_permille)) return std::nullopt;
+      if (seen_drop) return dup_spec("drop");
+      seen_drop = true;
+      if (!parse_permille(body, plan.drop_permille)) {
+        return fail("drop: bad permille '" + body +
+                    "' (want an integer in 0..1000)");
+      }
     } else if (kind == "delay") {
+      if (seen_delay) return dup_spec("delay");
+      seen_delay = true;
       const std::size_t plus = body.find('+');
-      if (plus == std::string::npos || plus == 0) return std::nullopt;
-      if (!parse_permille(body.substr(0, plus), plan.delay.permille) ||
+      if (plus == std::string::npos || plus == 0 ||
+          !parse_permille(body.substr(0, plus), plan.delay.permille) ||
           !parse_u64(body.substr(plus + 1), plan.delay.max_steps) ||
           plan.delay.max_steps == 0) {
-        return std::nullopt;
+        return fail("delay: want '<permille>+<maxsteps>' with permille in "
+                    "0..1000 and maxsteps >= 1, got '" +
+                    body + "'");
       }
     } else if (kind == "dup") {
-      if (!parse_permille(body, plan.dup_permille)) return std::nullopt;
+      if (seen_dup) return dup_spec("dup");
+      seen_dup = true;
+      if (!parse_permille(body, plan.dup_permille)) {
+        return fail("dup: bad permille '" + body +
+                    "' (want an integer in 0..1000)");
+      }
     } else if (kind == "reorder") {
-      if (!parse_permille(body, plan.reorder_permille)) return std::nullopt;
+      if (seen_reorder) return dup_spec("reorder");
+      seen_reorder = true;
+      if (!parse_permille(body, plan.reorder_permille)) {
+        return fail("reorder: bad permille '" + body +
+                    "' (want an integer in 0..1000)");
+      }
     } else if (kind == "partition") {
       PartitionSpec p;
-      if (!parse_partition(body, p)) return std::nullopt;
+      if (!parse_partition(body, p)) {
+        return fail("partition: want '<step>+<len>@<node>[.<node>]*', got '" +
+                    body + "'");
+      }
+      for (const int node : p.group) {
+        if (node > kMaxPlanNode) return node_range("partition", node);
+      }
       plan.partitions.push_back(std::move(p));
     } else if (kind == "crash") {
       int node = 0;
       std::uint64_t msgs = 0;
-      if (!parse_spec_body(body, node, msgs, nullptr)) return std::nullopt;
+      if (!parse_spec_body(body, node, msgs, nullptr)) {
+        return fail("crash: want '<node>@<msgs>', got '" + body + "'");
+      }
+      if (node > kMaxPlanNode) return node_range("crash", node);
       plan.crashes.push_back(ReplicaCrashSpec{node, msgs});
     } else if (kind == "recover") {
       int node = 0;
       std::uint64_t msgs = 0;
       std::uint64_t down = 0;
-      if (!parse_spec_body(body, node, msgs, &down)) return std::nullopt;
+      if (!parse_spec_body(body, node, msgs, &down)) {
+        return fail("recover: want '<node>@<msgs>+<downsteps>', got '" + body +
+                    "'");
+      }
+      if (node > kMaxPlanNode) return node_range("recover", node);
       plan.recoveries.push_back(RecoverSpec{node, msgs, down});
     } else {
-      return std::nullopt;
+      return fail("unknown spec kind '" + kind + "'");
     }
   }
   return plan;

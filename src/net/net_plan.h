@@ -35,13 +35,16 @@
 // All probabilistic choices are drawn from the SimNet's own seeded RNG,
 // so (net seed, plan, schedule) replays a scenario exactly.
 //
-// Text grammar (one spec per element, comma separated; later scalar
-// specs of the same kind override earlier ones):
+// Text grammar (one spec per element, comma separated; repeating a
+// scalar spec kind — drop/delay/dup/reorder — is an error, since a
+// silently-overriding duplicate almost always means a typo'd plan):
 //   drop:<permille> | delay:<permille>+<maxsteps> | dup:<permille>
 //   | reorder:<permille> | partition:<step>+<len>@<node>[.<node>]*
 //   | crash:<node>@<msgs> | recover:<node>@<msgs>+<downsteps>
 // e.g. "drop:100,delay:200+6,partition:40+200@0.1,crash:2@25,
-// recover:0@12+40". parse() and to_string() round-trip.
+// recover:0@12+40". parse() and to_string() round-trip. The
+// error-reporting overload names the offending spec and what was
+// expected of it; the plain overload just returns nullopt.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +55,11 @@
 #include "util/rng.h"
 
 namespace compreg::net {
+
+// Largest node id a plan may name. Rejoin bookkeeping (sync masks) and
+// the partition group representation are 64-bit, and no configuration
+// in this repo approaches the bound; ids past it are typos.
+inline constexpr int kMaxPlanNode = 63;
 
 struct DelaySpec {
   unsigned permille = 0;
@@ -103,6 +111,11 @@ struct NetFaultPlan {
 
   std::string to_string() const;
   static std::optional<NetFaultPlan> parse(const std::string& text);
+  // On failure, *error (if non-null) names the offending spec and the
+  // expected shape, e.g. "recover: want '<node>@<msgs>+<downsteps>',
+  // got '0@12'" or "partition: node id 64 out of range (0..63)".
+  static std::optional<NetFaultPlan> parse(const std::string& text,
+                                           std::string* error);
 
   // Random single-iteration chaos plan for `replicas` replica nodes:
   // message loss fixed at `loss_permille`, light random delay/dup/

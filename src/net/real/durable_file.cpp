@@ -1,0 +1,87 @@
+#include "net/real/durable_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace compreg::net::real {
+namespace {
+
+constexpr char kMagic[] = "compreg-durable v1";
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+}  // namespace
+
+FileDurable::FileDurable(std::string path) : path_(std::move(path)) {
+  existed_ = ::access(path_.c_str(), F_OK) == 0;
+  reload();
+}
+
+void FileDurable::reload() {
+  std::FILE* f = std::fopen(path_.c_str(), "r");
+  if (f == nullptr) return;
+  char magic[32] = {0};
+  std::uint64_t ts = 0;
+  std::uint64_t val = 0;
+  const bool ok =
+      std::fgets(magic, sizeof(magic), f) != nullptr &&
+      std::strncmp(magic, kMagic, sizeof(kMagic) - 1) == 0 &&
+      std::fscanf(f, "%" SCNu64 " %" SCNu64, &ts, &val) == 2;
+  std::fclose(f);
+  COMPREG_CHECK(ok, "corrupt durable record at %s", path_.c_str());
+  ts_ = ts;
+  val_ = val;
+  ++stats_.reloads;
+}
+
+void FileDurable::persist(std::uint64_t ts, std::uint64_t val) {
+  if (ts <= ts_) return;
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  COMPREG_CHECK(fd >= 0, "open(%s) failed (errno %d)", tmp.c_str(), errno);
+  char buf[96];
+  const int len = std::snprintf(buf, sizeof(buf), "%s\n%" PRIu64 " %" PRIu64
+                                "\n", kMagic, ts, val);
+  COMPREG_CHECK(len > 0 && len < static_cast<int>(sizeof(buf)),
+                "durable record format overflow");
+  ssize_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, buf + written, static_cast<std::size_t>(
+                                                     len - written));
+    if (n < 0 && errno == EINTR) continue;
+    COMPREG_CHECK(n > 0, "write(%s) failed (errno %d)", tmp.c_str(), errno);
+    written += n;
+  }
+  COMPREG_CHECK(::fsync(fd) == 0, "fsync(%s) failed (errno %d)", tmp.c_str(),
+                errno);
+  COMPREG_CHECK(::close(fd) == 0, "close(%s) failed (errno %d)", tmp.c_str(),
+                errno);
+  COMPREG_CHECK(::rename(tmp.c_str(), path_.c_str()) == 0,
+                "rename(%s -> %s) failed (errno %d)", tmp.c_str(),
+                path_.c_str(), errno);
+  // fsync the directory so the rename itself is on stable storage.
+  const int dfd = ::open(dir_of(path_).c_str(), O_RDONLY | O_DIRECTORY |
+                                                    O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  ts_ = ts;
+  val_ = val;
+  ++stats_.persists;
+}
+
+}  // namespace compreg::net::real

@@ -1,0 +1,184 @@
+#include "net/real/replica.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "net/real/durable_file.h"
+#include "net/real/fault_transport.h"
+#include "util/assert.h"
+
+namespace compreg::net::real {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_term(int /*sig*/) { g_stop = 1; }
+
+void install_sigterm() {
+  struct sigaction sa = {};
+  sa.sa_handler = &on_term;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+std::int64_t ns_since(std::chrono::steady_clock::time_point epoch) {
+  const auto d = std::chrono::steady_clock::now() - epoch;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+}  // namespace
+
+void audit_append(const std::string& path, const std::string& line) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  COMPREG_CHECK(fd >= 0, "open(%s) failed (errno %d)", path.c_str(), errno);
+  std::string buf = line;
+  buf.push_back('\n');
+  // One write per line: O_APPEND makes concurrent appenders (several
+  // replicas share one audit log) interleave at line granularity.
+  ssize_t off = 0;
+  const ssize_t len = static_cast<ssize_t>(buf.size());
+  while (off < len) {
+    const ssize_t n =
+        ::write(fd, buf.data() + off, static_cast<std::size_t>(len - off));
+    if (n < 0 && errno == EINTR) continue;
+    COMPREG_CHECK(n > 0, "write(%s) failed (errno %d)", path.c_str(), errno);
+    off += n;
+  }
+  ::close(fd);
+}
+
+int run_replica(const ReplicaConfig& cfg) {
+  COMPREG_CHECK(cfg.f >= 1, "replica needs f >= 1");
+  const int node = cfg.transport.self;
+  const int replicas = cfg.transport.replicas;
+  COMPREG_CHECK(replicas == 2 * cfg.f + 1, "replica fleet must be 2f+1");
+  COMPREG_CHECK(node >= 0 && node < replicas, "replica id out of range");
+  install_sigterm();
+
+  FileDurable durable(cfg.data_dir + "/replica-" + std::to_string(node) +
+                      ".dur");
+  const std::string audit = cfg.data_dir + "/audit.log";
+
+  SocketTransport socket(cfg.transport);
+  FaultyTransport net(socket, cfg.plan, cfg.seed, cfg.epoch);
+
+  std::uint64_t ts = durable.ts();
+  std::uint64_t val = durable.value();
+  // A replica whose durable file predates this process acknowledged
+  // writes in a previous life: it must catch up from a read quorum
+  // (itself + f distinct peers) before serving again. A truly fresh
+  // replica never acked anything, so it serves immediately.
+  bool serving = !durable.existed();
+
+  {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "start node=%d durable_ts=%" PRIu64 " existed=%d t_ns=%"
+                  PRId64,
+                  node, ts, durable.existed() ? 1 : 0, ns_since(cfg.epoch));
+    audit_append(audit, line);
+  }
+
+  // Incarnation tag: sync replies from a previous life of this node id
+  // (stale frames) must not count toward this catch-up quorum.
+  const std::uint64_t incarnation =
+      static_cast<std::uint64_t>(ns_since(cfg.epoch)) ^
+      (static_cast<std::uint64_t>(::getpid()) << 32);
+
+  const auto log_serving = [&] {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "serving node=%d ts=%" PRIu64 " t_ns=%" PRId64, node, ts,
+                  ns_since(cfg.epoch));
+    audit_append(audit, line);
+  };
+  if (serving) log_serving();
+
+  Deadline next_sync;  // default = already due
+  std::uint64_t sync_mask = 0;
+  int sync_count = 0;
+
+  while (g_stop == 0) {
+    if (!serving && next_sync.expired()) {
+      for (int peer = 0; peer < replicas; ++peer) {
+        if (peer == node) continue;
+        net.send(peer, WireMsg{MsgType::kSyncReq, static_cast<std::uint32_t>(
+                                                      node),
+                               incarnation, ts, 0});
+      }
+      next_sync = Deadline::after(cfg.sync_retry);
+    }
+
+    std::optional<Delivery> d = net.poll(Deadline::after(cfg.poll_slice));
+    if (!d) continue;
+    const WireMsg& m = d->msg;
+    switch (m.type) {
+      case MsgType::kStore: {
+        if (!serving) break;
+        if (m.ts > ts) {
+          ts = m.ts;
+          val = m.val;
+        }
+        // Persist-before-ack: the ack below is a promise that a kill-9
+        // one instruction later cannot erase.
+        durable.persist(ts, val);
+        net.send(d->src, WireMsg{MsgType::kStoreAck,
+                                 static_cast<std::uint32_t>(node), m.op, ts,
+                                 0});
+        break;
+      }
+      case MsgType::kQuery: {
+        if (!serving) break;
+        net.send(d->src, WireMsg{MsgType::kQueryReply,
+                                 static_cast<std::uint32_t>(node), m.op, ts,
+                                 val});
+        break;
+      }
+      case MsgType::kSyncReq: {
+        // Only a serving replica may vouch for the current state; a
+        // catching-up replica answering would let two amnesiacs
+        // certify each other.
+        if (!serving) break;
+        net.send(d->src, WireMsg{MsgType::kSyncReply,
+                                 static_cast<std::uint32_t>(node), m.op, ts,
+                                 val});
+        break;
+      }
+      case MsgType::kSyncReply: {
+        if (serving || m.op != incarnation) break;
+        if (m.ts > ts) {
+          ts = m.ts;
+          val = m.val;
+        }
+        const int peer = d->src;
+        if (peer < 0 || peer >= replicas || peer == node) break;
+        const std::uint64_t bit = std::uint64_t{1} << peer;
+        if ((sync_mask & bit) != 0) break;
+        sync_mask |= bit;
+        if (++sync_count >= cfg.f) {
+          // Self + f distinct peers = a read quorum: it intersects the
+          // ack quorum of every completed write, so (ts, val) now
+          // covers everything this replica ever acknowledged.
+          durable.persist(ts, val);
+          serving = true;
+          log_serving();
+        }
+        break;
+      }
+      case MsgType::kStoreAck:
+      case MsgType::kQueryReply:
+        break;  // client-role frames; stray ones are ignored
+    }
+  }
+  return 0;
+}
+
+}  // namespace compreg::net::real

@@ -1,0 +1,66 @@
+// One real ABD replica: a process-level event loop over the real
+// transport, obeying the crash-recovery durability discipline.
+//
+// This is the server half of the protocol in
+// net/replicated_register.h, re-expressed over bytes and real time:
+//
+//   STORE(ts, val)  adopt-if-newer, persist to the replica's
+//                   FileDurable BEFORE the ack leaves (the rule a
+//                   kill-9 cannot be allowed to break), ack with the
+//                   post-adopt timestamp.
+//   QUERY           reply with the current (ts, val).
+//   SYNC_REQ/REPLY  rejoin catch-up: a restarted replica reloads its
+//                   durable record, then resynchronizes from a read
+//                   quorum — itself plus f *distinct* peers, which
+//                   intersects every completed write's ack quorum —
+//                   and only then serves. Mid-catch-up it stays silent
+//                   to all other traffic; clients absorb the silence
+//                   as transient loss.
+//
+// Fresh boot vs restart is decided by FileDurable::existed(): a replica
+// that never persisted anything never acknowledged anything, so a blank
+// immediate start is safe; a present durable file forces the
+// conservative reload + catch-up path. Catch-up requests are
+// re-broadcast on a deadline until a quorum answers — peers may
+// themselves still be starting.
+//
+// The replica appends machine-parseable lines ("start ...",
+// "serving ...") to <data_dir>/audit.log; the harness's durability
+// auditor joins them against client-side ack records to detect
+// ack-before-persist violations across real kill-9 cycles.
+//
+// Termination: SIGTERM requests a clean exit; SIGKILL is the chaos
+// path (the supervisor's job). The supervisor arms PR_SET_PDEATHSIG so
+// orphaned replicas die with the harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/net_plan.h"
+#include "net/real/transport.h"
+
+namespace compreg::net::real {
+
+struct ReplicaConfig {
+  TransportConfig transport;  // transport.self = this replica's node id
+  int f = 1;
+  std::string data_dir;  // durable records + audit log
+  NetFaultPlan plan;     // socket-level faults; crash/recover specs are
+                         // ignored here (real crashes are SIGKILLs)
+  std::uint64_t seed = 1;
+  std::chrono::steady_clock::time_point epoch{};  // fleet time origin
+  std::chrono::milliseconds sync_retry{50};  // catch-up rebroadcast period
+  std::chrono::milliseconds poll_slice{25};  // event-loop wakeup bound
+};
+
+// Runs the replica event loop until SIGTERM. Returns a process exit
+// code (0 on clean shutdown).
+int run_replica(const ReplicaConfig& cfg);
+
+// Appends one line to the shared audit log (O_APPEND, single write).
+// Used by run_replica; exposed so tests can seed and parse logs.
+void audit_append(const std::string& path, const std::string& line);
+
+}  // namespace compreg::net::real

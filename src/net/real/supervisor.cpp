@@ -1,0 +1,130 @@
+#include "net/real/supervisor.h"
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "util/assert.h"
+
+namespace compreg::net::real {
+
+Supervisor::Supervisor(std::chrono::steady_clock::time_point epoch)
+    : epoch_(epoch) {}
+
+Supervisor::~Supervisor() {
+  for (Child& c : children_) {
+    if (!c.running) continue;
+    ::kill(c.pid, SIGKILL);
+    ::waitpid(c.pid, nullptr, 0);
+    c.running = false;
+  }
+}
+
+std::int64_t Supervisor::now_ns() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+Supervisor::Child* Supervisor::find(int node) {
+  for (Child& c : children_) {
+    if (c.node == node) return &c;
+  }
+  return nullptr;
+}
+
+const Supervisor::Child* Supervisor::find(int node) const {
+  for (const Child& c : children_) {
+    if (c.node == node) return &c;
+  }
+  return nullptr;
+}
+
+pid_t Supervisor::spawn(int node, const std::vector<std::string>& argv) {
+  COMPREG_CHECK(!argv.empty(), "spawn needs an argv");
+  Child* slot = find(node);
+  COMPREG_CHECK(slot == nullptr || !slot->running,
+                "node %d already has a live process", node);
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t parent = ::getpid();
+  const pid_t pid = ::fork();
+  COMPREG_CHECK(pid >= 0, "fork failed (errno %d)", errno);
+  if (pid == 0) {
+    // Child. The parent is multithreaded, so this forked copy holds
+    // only async-signal-safe ground until execv replaces it.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() != parent) _exit(127);  // parent died pre-prctl
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+
+  if (slot == nullptr) {
+    children_.push_back(Child{node, pid, true});
+  } else {
+    slot->pid = pid;
+    slot->running = true;
+  }
+  events_.push_back(ProcEvent{ProcEvent::Kind::kSpawn, node, pid, now_ns()});
+  return pid;
+}
+
+void Supervisor::kill9(int node) {
+  Child* c = find(node);
+  if (c == nullptr || !c->running) return;
+  // Record the kill timestamp BEFORE delivering the signal: any client
+  // ack received after this instant might have raced the kill, so the
+  // durability audit only holds the replica to acks recorded before it.
+  events_.push_back(ProcEvent{ProcEvent::Kind::kKill, node, c->pid,
+                              now_ns()});
+  ::kill(c->pid, SIGKILL);
+  ::waitpid(c->pid, nullptr, 0);
+  events_.push_back(ProcEvent{ProcEvent::Kind::kExit, node, c->pid,
+                              now_ns()});
+  c->running = false;
+}
+
+void Supervisor::terminate_all(std::chrono::milliseconds grace) {
+  for (Child& c : children_) {
+    if (c.running) ::kill(c.pid, SIGTERM);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  for (Child& c : children_) {
+    if (!c.running) continue;
+    while (true) {
+      int status = 0;
+      const pid_t r = ::waitpid(c.pid, &status, WNOHANG);
+      if (r == c.pid || (r < 0 && errno == ECHILD)) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(c.pid, SIGKILL);
+        ::waitpid(c.pid, nullptr, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    events_.push_back(ProcEvent{ProcEvent::Kind::kExit, c.node, c.pid,
+                                now_ns()});
+    c.running = false;
+  }
+}
+
+bool Supervisor::alive(int node) const {
+  const Child* c = find(node);
+  return c != nullptr && c->running;
+}
+
+pid_t Supervisor::pid_of(int node) const {
+  const Child* c = find(node);
+  return c == nullptr ? -1 : c->pid;
+}
+
+}  // namespace compreg::net::real

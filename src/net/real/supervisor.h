@@ -1,0 +1,78 @@
+// Supervisor: the chaos half of the crash-recovery model, made real.
+//
+// The simulated NetFaultPlan expresses crash/recover cycles as queue
+// manipulation; here a "crash" is a literal SIGKILL delivered to a
+// replica *process* — no destructors, no flushes, no goodbye frames —
+// and "recovery" is a fresh fork+exec of the same binary, which rejoins
+// via FileDurable reload + the catch-up protocol (net/real/replica.h).
+//
+// Children are spawned with fork + execv of /proc/self/exe (the harness
+// is multithreaded, so the child must exec immediately rather than run
+// arbitrary code under a forked copy of the parent's locks) and armed
+// with PR_SET_PDEATHSIG(SIGKILL) so a dying harness never leaks replica
+// processes.
+//
+// Every spawn and kill is recorded with a fleet-epoch timestamp; the
+// durability auditor joins these events against client ack records and
+// replica audit-log lines to check that a replica restarted after a
+// kill recovered at least everything it had acknowledged before it.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compreg::net::real {
+
+struct ProcEvent {
+  enum class Kind : std::uint8_t { kSpawn, kKill, kExit };
+  Kind kind = Kind::kSpawn;
+  int node = -1;
+  pid_t pid = -1;
+  std::int64_t t_ns = 0;  // ns since the fleet epoch
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(std::chrono::steady_clock::time_point epoch);
+  // Kills (SIGKILL) and reaps any children still alive.
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // fork+execv `argv` (argv[0] should be /proc/self/exe or an absolute
+  // path) as replica `node`. Returns the child pid.
+  pid_t spawn(int node, const std::vector<std::string>& argv);
+
+  // SIGKILL the current process for `node` and reap it. No-op if the
+  // node has no live process.
+  void kill9(int node);
+
+  // SIGTERM + bounded wait, escalating to SIGKILL; reaps everything.
+  void terminate_all(std::chrono::milliseconds grace);
+
+  bool alive(int node) const;
+  pid_t pid_of(int node) const;
+  const std::vector<ProcEvent>& events() const { return events_; }
+
+ private:
+  struct Child {
+    int node = -1;
+    pid_t pid = -1;
+    bool running = false;
+  };
+
+  std::int64_t now_ns() const;
+  Child* find(int node);
+  const Child* find(int node) const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Child> children_;
+  std::vector<ProcEvent> events_;
+};
+
+}  // namespace compreg::net::real

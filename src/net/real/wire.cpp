@@ -1,0 +1,89 @@
+#include "net/real/wire.h"
+
+namespace compreg::net::real {
+namespace {
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void append_frame(std::vector<unsigned char>& out, const WireMsg& msg) {
+  put_u32(out, static_cast<std::uint32_t>(kWireMsgBytes));
+  out.push_back(static_cast<unsigned char>(msg.type));
+  put_u32(out, msg.src);
+  put_u64(out, msg.op);
+  put_u64(out, msg.ts);
+  put_u64(out, msg.val);
+}
+
+bool decode_payload(const unsigned char* data, std::size_t len, WireMsg& out) {
+  if (len != kWireMsgBytes) return false;
+  const auto type = static_cast<std::uint8_t>(data[0]);
+  if (type < static_cast<std::uint8_t>(MsgType::kStore) ||
+      type > static_cast<std::uint8_t>(MsgType::kSyncReply)) {
+    return false;
+  }
+  out.type = static_cast<MsgType>(type);
+  out.src = get_u32(data + 1);
+  out.op = get_u64(data + 5);
+  out.ts = get_u64(data + 13);
+  out.val = get_u64(data + 21);
+  return true;
+}
+
+void FrameReader::feed(const unsigned char* data, std::size_t n) {
+  if (corrupt_) return;
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<WireMsg> FrameReader::next() {
+  if (corrupt_) return std::nullopt;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t len = get_u32(buf_.data() + pos_);
+  if (len == 0 || len > kMaxFramePayload) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + len) return std::nullopt;
+  WireMsg msg;
+  if (!decode_payload(buf_.data() + pos_ + kFrameHeaderBytes, len, msg)) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  pos_ += kFrameHeaderBytes + len;
+  // Compact once the consumed prefix dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return msg;
+}
+
+}  // namespace compreg::net::real

@@ -1,0 +1,88 @@
+// Wire format for the real transport (src/net/real/).
+//
+// The simulated network moves closures; a real socket moves bytes, so
+// the real path fixes a concrete message vocabulary — the five ABD
+// protocol messages plus the rejoin catch-up pair — and a byte-exact
+// encoding for them. Every message is one *frame* on a stream socket:
+//
+//   [u32-le payload length][payload]
+//
+// with a fixed-size payload:
+//
+//   [u8 type][u32-le src][u64-le op][u64-le ts][u64-le val]
+//
+// `src` is the logical node id of the sender (replicas 0..2f, client
+// endpoints above that), which is how a replica learns which connection
+// belongs to which peer — there is no separate handshake, the first
+// frame on a connection identifies it. `op` is the client's operation
+// sequence number (echoed in replies, so stale replies from earlier
+// attempts are filtered) or the rejoin incarnation tag for the sync
+// pair. Encoding is explicitly little-endian byte-by-byte, so the
+// format is independent of host endianness and struct layout.
+//
+// FrameReader reassembles frames from arbitrary read() chunk
+// boundaries and flags malformed input (bad length, bad type, short
+// payload) as corrupt instead of crashing — a robustness-first parser
+// for bytes that crossed a process boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace compreg::net::real {
+
+enum class MsgType : std::uint8_t {
+  kStore = 1,      // STORE(ts, val): adopt-if-newer, persist, then ack
+  kStoreAck = 2,   // ts = the replica's post-adopt durable timestamp
+  kQuery = 3,      // QUERY: reply with current (ts, val)
+  kQueryReply = 4,
+  kSyncReq = 5,    // rejoin catch-up: op = incarnation tag
+  kSyncReply = 6,
+};
+
+struct WireMsg {
+  MsgType type = MsgType::kStore;
+  std::uint32_t src = 0;  // logical node id of the sender
+  std::uint64_t op = 0;   // client op seq / rejoin incarnation tag
+  std::uint64_t ts = 0;
+  std::uint64_t val = 0;
+
+  bool operator==(const WireMsg&) const = default;
+};
+
+inline constexpr std::size_t kWireMsgBytes = 1 + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+// Frames are currently all kWireMsgBytes; anything larger than this
+// bound is corruption, not a future extension.
+inline constexpr std::size_t kMaxFramePayload = 256;
+
+// Appends one length-prefixed frame to `out`.
+void append_frame(std::vector<unsigned char>& out, const WireMsg& msg);
+
+// Decodes one payload (no length prefix). False on bad size/type.
+bool decode_payload(const unsigned char* data, std::size_t len, WireMsg& out);
+
+// Incremental frame reassembly over a stream connection.
+class FrameReader {
+ public:
+  void feed(const unsigned char* data, std::size_t n);
+
+  // Next complete, well-formed frame; nullopt when more bytes are
+  // needed or the stream has been declared corrupt.
+  std::optional<WireMsg> next();
+
+  // A malformed frame poisons the connection (the transport closes it;
+  // the retry layer treats the loss like any other).
+  bool corrupt() const { return corrupt_; }
+
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<unsigned char> buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace compreg::net::real

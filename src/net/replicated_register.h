@@ -53,6 +53,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/backoff.h"
 #include "net/durable_state.h"
 #include "net/sim_net.h"
 #include "sched/access.h"
@@ -103,24 +104,8 @@ struct NetConfig {
   int quorum() const { return f + 1; }
 };
 
-// One bounded exponential backoff window, in polls: min(cap, base *
-// 2^attempt) plus deterministic jitter in [0, window/2]. Factored out
-// of quorum_phase so the overflow behavior is unit-testable: for large
-// attempt counts the shift would overflow (or is outright UB at
-// attempt >= 64), so the window saturates at `cap` instead. Consumes
-// exactly one draw from `jitter` — replay-stable.
-inline std::uint64_t backoff_window(unsigned base, unsigned cap,
-                                    unsigned attempt, Rng& jitter) {
-  std::uint64_t window = cap;
-  const std::uint64_t wide = static_cast<std::uint64_t>(base);
-  if (base == 0) {
-    window = 0;
-  } else if (attempt < 64 && ((wide << attempt) >> attempt) == wide) {
-    window = std::min<std::uint64_t>(cap, wide << attempt);
-  }
-  window += jitter.below(window / 2 + 1);
-  return window;
-}
+// The bounded-exponential-backoff window arithmetic is shared with the
+// real transport's retry layer: see net/backoff.h (backoff_window).
 
 template <typename T>
 class ReplicatedRegister {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lin/history.h"  // kPendingEnd
+
 namespace compreg::lin {
 namespace {
 
@@ -103,6 +105,72 @@ TEST(RegularityCheckerTest, AcceptsLatestOrOverlapping) {
   h.writes = {w(1, 1, 2), w(2, 5, 10)};
   h.reads = {r(1, 6, 7), r(2, 6, 7)};  // both legal during write 2
   EXPECT_TRUE(check_register_regularity(h).ok);
+}
+
+// Pending writes (end == kPendingEnd): an abandoned invocation — the
+// writer crashed mid-op, or the networked register degraded the write
+// to Unavailable — whose value may still take effect any time later.
+
+TEST(PendingWriteTest, PendingWriteMayOverlapLaterWriterOps) {
+  // The writer abandoned write 1 (Unavailable) and moved on to write 2;
+  // that is NOT a serial-writer violation.
+  RegisterHistory h;
+  h.writes = {w(1, 3, kPendingEnd), w(2, 7, 8)};
+  h.reads = {r(2, 9, 10)};
+  EXPECT_TRUE(check_register_atomicity(h).ok);
+}
+
+TEST(PendingWriteTest, ReadMayReturnPendingWrite) {
+  // The abandoned write's frames landed on a minority; a later read's
+  // quorum adopted it. Legal: the pending interval extends forever.
+  RegisterHistory h;
+  h.writes = {w(1, 3, kPendingEnd)};
+  h.reads = {r(1, 10, 12)};
+  EXPECT_TRUE(check_register_atomicity(h).ok);
+}
+
+TEST(PendingWriteTest, ReadMaySkipPendingWrite) {
+  // Equally legal: the pending write never takes effect.
+  RegisterHistory h;
+  h.writes = {w(1, 3, kPendingEnd), w(2, 7, 8)};
+  h.reads = {r(0, 4, 5), r(2, 9, 10)};
+  EXPECT_TRUE(check_register_atomicity(h).ok);
+}
+
+TEST(PendingWriteTest, PendingWriteIsNeverAFutureWrite) {
+  // A read that ends before the pending write even started still
+  // cannot return it.
+  RegisterHistory h;
+  h.writes = {w(1, 5, kPendingEnd)};
+  h.reads = {r(1, 1, 2)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(PendingWriteTest, CompletedWriteStillShadowsPendingOne) {
+  // Write 2 completed before the read began, so returning the older
+  // pending write 1 is a real violation, pending or not.
+  RegisterHistory h;
+  h.writes = {w(1, 3, kPendingEnd), w(2, 7, 8)};
+  h.reads = {r(1, 9, 10)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(PendingWriteTest, NewOldInversionStillCaughtAroundPendingWrites) {
+  // Read A (completed earlier) returned write 2; read B, started after
+  // A ended, returned the older pending write 1 — inversion.
+  RegisterHistory h;
+  h.writes = {w(1, 3, kPendingEnd), w(2, 7, 8)};
+  h.reads = {r(2, 9, 10), r(1, 12, 14)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+}
+
+TEST(PendingWriteTest, TrailingPendingWritePasses) {
+  // The common crash shape: the history ends with the writer's final,
+  // never-completed write.
+  RegisterHistory h;
+  h.writes = {w(1, 1, 2), w(2, 5, kPendingEnd)};
+  h.reads = {r(1, 3, 4), r(2, 7, 9)};
+  EXPECT_TRUE(check_register_atomicity(h).ok);
 }
 
 }  // namespace

@@ -75,10 +75,15 @@ TEST(NetPlanTest, PartitionGroupSortedUnique) {
   EXPECT_EQ(plan->partitions[0].group, (std::vector<int>{0, 1, 2}));
 }
 
-TEST(NetPlanTest, LaterScalarSpecOverrides) {
-  auto plan = NetFaultPlan::parse("drop:10,drop:300");
-  ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->drop_permille, 300u);
+// A repeated scalar spec used to silently override; it is now a parse
+// error — a duplicated kind almost always means a typo'd plan, and a
+// plan that silently halves its intended loss rate invalidates whatever
+// experiment it was driving.
+TEST(NetPlanTest, DuplicateScalarSpecIsAnError) {
+  EXPECT_FALSE(NetFaultPlan::parse("drop:10,drop:300").has_value());
+  std::string error;
+  EXPECT_FALSE(NetFaultPlan::parse("drop:10,drop:300", &error).has_value());
+  EXPECT_NE(error.find("duplicate drop"), std::string::npos) << error;
 }
 
 TEST(NetPlanTest, MultiplePartitionsAndCrashesAccumulate) {

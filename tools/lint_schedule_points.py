@@ -38,6 +38,22 @@ import sys
 
 DEFAULT_TREES = ("src/registers", "src/baselines", "src/net")
 
+# Directory-level exemptions: subtrees under the linted roots whose code
+# deliberately runs OUTSIDE the simulated scheduler, where a labeled
+# schedule point would be meaningless. The reason is mandatory and is
+# printed whenever the subtree is skipped, so the exemption stays a
+# visible, justified decision rather than a silent hole.
+EXEMPT_DIRS = {
+    "src/net/real": (
+        "real-socket transport: this code runs in separate OS processes "
+        "under real kernels and real clocks, below the Transport seam "
+        "where the labeled-schedule-point discipline (and the DPOR "
+        "certification built on it) stops by design; its verification "
+        "story is verify_net_real chaos/kill-9 runs, not schedule-space "
+        "exploration"
+    ),
+}
+
 SYNC_OP = re.compile(
     r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
     r"fetch_xor|compare_exchange_weak|compare_exchange_strong|"
@@ -282,13 +298,31 @@ def main():
     if args.self_test:
         sys.exit(self_test())
 
+    def exempt_reason(path):
+        rel = os.path.normpath(os.path.relpath(path, args.root))
+        rel = rel.replace(os.sep, "/")
+        for d, reason in EXEMPT_DIRS.items():
+            if rel == d or rel.startswith(d + "/"):
+                return d, reason
+        return None
+
     targets = args.paths or [os.path.join(args.root, t) for t in DEFAULT_TREES]
     files = []
+    skipped = {}
     for t in targets:
         if os.path.isfile(t):
-            files.append(t)
+            hit = exempt_reason(t)
+            if hit:
+                skipped[hit[0]] = hit[1]
+            else:
+                files.append(t)
         elif os.path.isdir(t):
-            for dirpath, _, names in os.walk(t):
+            for dirpath, dirnames, names in os.walk(t):
+                hit = exempt_reason(dirpath)
+                if hit:
+                    skipped[hit[0]] = hit[1]
+                    dirnames[:] = []
+                    continue
                 files.extend(
                     os.path.join(dirpath, f)
                     for f in sorted(names)
@@ -297,6 +331,8 @@ def main():
         else:
             print(f"lint_schedule_points: no such path: {t}", file=sys.stderr)
             sys.exit(64)
+    for d in sorted(skipped):
+        print(f"lint_schedule_points: skipping {d}/ — {skipped[d]}")
 
     total = 0
     for path in sorted(files):
