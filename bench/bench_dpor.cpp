@@ -236,7 +236,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }
-    for (const std::string& r : g_rows) std::fprintf(f, "%s\n", r.c_str());
+    // schema_version 1: {"schema_version", "bench", "rows": [...]} —
+    // the same wrapper bench_net and bench_waitfreedom emit, so
+    // tools/check_bench_schema.py can validate all three uniformly.
+    std::fprintf(f, "{\n\"schema_version\": 1,\n\"bench\": \"dpor\",\n");
+    std::fprintf(f, "\"rows\": [\n");
+    for (std::size_t i = 0; i < g_rows.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", g_rows[i].c_str(),
+                   i + 1 < g_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n}\n");
     std::fclose(f);
     std::printf("wrote %zu rows to %s\n", g_rows.size(), json_path);
   }

@@ -12,7 +12,10 @@
 // the retry-based implementations.
 #include <atomic>
 #include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +33,19 @@
 namespace {
 
 using namespace compreg;  // NOLINT: bench-local brevity
+
+// JSON rows accumulated across the parts for --json emission; each
+// entry is one complete {"experiment":"E5",...} object.
+std::vector<std::string> g_rows;
+
+void row(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  g_rows.emplace_back(buf);
+}
 
 // Adversary: the scanner (victim) runs one step per `period` steps.
 class StarvePolicy final : public sched::SchedulePolicy {
@@ -91,6 +107,10 @@ void part1() {
     std::printf("%6d %18" PRIu64 " %18s %14" PRIu64 " %14" PRIu64 "\n",
                 period, dc_ops,
                 dc_ops > 100 ? "grows with P" : "", uh_ops, an_ops);
+    row("{\"experiment\":\"E5\",\"part\":\"adversary\",\"period\":%d,"
+        "\"double_collect_ops\":%" PRIu64 ",\"helping_ops\":%" PRIu64
+        ",\"anderson_ops\":%" PRIu64 "}",
+        period, dc_ops, uh_ops, an_ops);
   }
   std::printf("(anderson = TR(2,1) = %" PRIu64 " exactly, every time)\n\n",
               core::CompositeRegister<std::uint64_t>::read_cost(2, 1));
@@ -133,6 +153,10 @@ void part2() {
     std::printf("%4d %22" PRIu64 " %22" PRIu64 " %22" PRIu64 "\n", w,
                 dc.stats(0).max_collects, sq.stats(0).max_attempts,
                 afek_scans);
+    row("{\"experiment\":\"E5\",\"part\":\"native\",\"writers\":%d,"
+        "\"double_collect_max\":%" PRIu64 ",\"seqlock_max_attempts\":%" PRIu64
+        ",\"afek_scans\":%" PRIu64 "}",
+        w, dc.stats(0).max_collects, sq.stats(0).max_attempts, afek_scans);
   }
   std::printf("(afek column counts completed scans: every one stayed "
               "within its C+1 round bound or the run would have "
@@ -221,6 +245,10 @@ void part3() {
         iters);
     std::printf("%20s %12" PRIu64 " %12" PRIu64 "\n", "double-collect",
                 r.first, r.second);
+    row("{\"experiment\":\"E5\",\"part\":\"crash-sweep\","
+        "\"impl\":\"double-collect\",\"min_ops\":%" PRIu64
+        ",\"max_ops\":%" PRIu64 "}",
+        r.first, r.second);
   }
   {
     auto r = crash_sweep_scan_ops(
@@ -231,6 +259,10 @@ void part3() {
         iters);
     std::printf("%20s %12" PRIu64 " %12" PRIu64 "\n", "unbounded-helping",
                 r.first, r.second);
+    row("{\"experiment\":\"E5\",\"part\":\"crash-sweep\","
+        "\"impl\":\"unbounded-helping\",\"min_ops\":%" PRIu64
+        ",\"max_ops\":%" PRIu64 "}",
+        r.first, r.second);
   }
   {
     auto r = crash_sweep_scan_ops(
@@ -241,6 +273,10 @@ void part3() {
         iters);
     std::printf("%20s %12" PRIu64 " %12" PRIu64 "\n", "anderson", r.first,
                 r.second);
+    row("{\"experiment\":\"E5\",\"part\":\"crash-sweep\","
+        "\"impl\":\"anderson\",\"min_ops\":%" PRIu64 ",\"max_ops\":%" PRIu64
+        "}",
+        r.first, r.second);
     const std::uint64_t tr =
         core::CompositeRegister<std::uint64_t>::read_cost(2, 1);
     std::printf("(anderson min == max == TR(2,1) = %" PRIu64
@@ -252,10 +288,35 @@ void part3() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   std::printf("E5: wait-freedom under writer pressure\n\n");
   part1();
   part2();
   part3();
+  if (json_path) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    // schema_version 1: {"schema_version", "bench", "rows": [...]} —
+    // the same wrapper bench_net and bench_dpor emit, so
+    // tools/check_bench_schema.py can validate all three uniformly.
+    std::fprintf(f, "{\n\"schema_version\": 1,\n\"bench\": \"waitfreedom\",\n");
+    std::fprintf(f, "\"rows\": [\n");
+    for (std::size_t i = 0; i < g_rows.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", g_rows[i].c_str(),
+                   i + 1 < g_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %zu rows to %s\n", g_rows.size(), json_path);
+  }
   return 0;
 }

@@ -52,6 +52,7 @@ class DoubleCollectSnapshot final : public core::Snapshot<V> {
     out.resize(static_cast<std::size_t>(c_));
     collect(reader_id, prev);
     std::uint64_t collects = 1;
+    // audit: exempt(waitfree, folklore lock-free baseline - a scan repeats until two identical collects and starves under writes by design)
     for (;;) {
       collect(reader_id, out);
       ++collects;

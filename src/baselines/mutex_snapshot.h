@@ -9,6 +9,8 @@
 // latency cliff under contention.
 #pragma once
 
+// audit: exempt(blocking, mutual-exclusion baseline - blocking is the construction this repo exists to beat; bench_waitfreedom measures the cost)
+
 #include <cstdint>
 #include <mutex>
 #include <vector>

@@ -61,23 +61,36 @@ class SeqlockSnapshot final : public core::Snapshot<V> {
 
   std::uint64_t update(int component, const V& value) override {
     const std::size_t k = static_cast<std::size_t>(component);
+    // audit: exempt(waitfree, lock-based baseline - writers serialize on the spinlock by design; bench_waitfreedom E5 measures it)
     for (;;) {
       // One schedule point per acquisition attempt, so a spinning
       // writer keeps yielding under the simulator instead of wedging
       // the lockstep.
       sched::point(lock_access_.write());
+      // acquire pairs with the release clear() below: the previous
+      // writer's slot/version stores happen-before this critical section.
       if (!writer_lock_.test_and_set(std::memory_order_acquire)) break;
       // spin: writers serialize (not wait-free; that is the point)
     }
     sched::point(version_access_.write());
-    version_.fetch_add(1, std::memory_order_seq_cst);  // now odd
+    // Boehm seqlock writer: the odd bump may be relaxed because the
+    // release fence below keeps it ordered before the slot stores.
+    version_.fetch_add(1, std::memory_order_relaxed);  // now odd
+    // orders the odd bump before the slot stores (Boehm seqlock writer)
+    std::atomic_thread_fence(std::memory_order_release);
     sched::point(slot_access_[k].write());
+    // relaxed: the lock serializes writers, and readers only trust a
+    // slot view bracketed by an even, unchanged version.
     const std::uint64_t id = slots_[k].id.load(std::memory_order_relaxed) + 1;
-    slots_[k].value.store(value, std::memory_order_seq_cst);
-    slots_[k].id.store(id, std::memory_order_seq_cst);
+    slots_[k].value.store(value, std::memory_order_relaxed);  // see above: version-bracketed
+    slots_[k].id.store(id, std::memory_order_relaxed);        // see above: version-bracketed
     sched::point(version_access_.write());
-    version_.fetch_add(1, std::memory_order_seq_cst);  // even again
+    // release: a reader that observes this even version also observes
+    // the slot stores above (pairs with the reader's acquire of v1).
+    version_.fetch_add(1, std::memory_order_release);  // even again
     sched::point(lock_access_.write());
+    // release: hands the critical section to the next writer's acquire
+    // test_and_set.
     writer_lock_.clear(std::memory_order_release);
     return id;
   }
@@ -85,19 +98,29 @@ class SeqlockSnapshot final : public core::Snapshot<V> {
   void scan_items(int reader_id, std::vector<core::Item<V>>& out) override {
     out.resize(static_cast<std::size_t>(c_));
     std::uint64_t attempts = 0;
+    // audit: exempt(waitfree, optimistic-read baseline - readers retry until a quiet version by design; starvation measured by bench_waitfreedom E5)
     for (;;) {
       ++attempts;
       sched::point(version_access_.read());
-      const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
+      // Boehm seqlock reader: acquire pairs with the writer's release
+      // bump, so the slot loads below see at least the v1 snapshot.
+      const std::uint64_t v1 = version_.load(std::memory_order_acquire);
       if (v1 % 2 != 0) continue;  // write in flight
       for (int k = 0; k < c_; ++k) {
         const std::size_t ku = static_cast<std::size_t>(k);
         sched::point(slot_access_[ku].read());
-        out[ku].val = slots_[ku].value.load(std::memory_order_seq_cst);
-        out[ku].id = slots_[ku].id.load(std::memory_order_seq_cst);
+        // relaxed: validated by the v1 == v2 recheck below; a torn view
+        // fails the recheck and is retried, never returned.
+        out[ku].val = slots_[ku].value.load(std::memory_order_relaxed);
+        out[ku].id = slots_[ku].id.load(std::memory_order_relaxed);  // see above: rechecked
+
       }
+      // acquire fence keeps the slot loads above from drifting past the
+      // v2 validation load (Boehm seqlock reader).
+      std::atomic_thread_fence(std::memory_order_acquire);
       sched::point(version_access_.read());
-      const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
+      // relaxed: already ordered after the slot loads by the fence.
+      const std::uint64_t v2 = version_.load(std::memory_order_relaxed);
       if (v1 == v2) break;
     }
     SlotStats& st = stats_[static_cast<std::size_t>(reader_id)];
@@ -135,8 +158,10 @@ class SeqlockSnapshot final : public core::Snapshot<V> {
   sched::AccessLabel version_access_;
   sched::AccessLabel lock_access_;
   std::vector<sched::AccessLabel> slot_access_;  // one per component
-  std::atomic<std::uint64_t> version_{0};
-  std::atomic_flag writer_lock_ = ATOMIC_FLAG_INIT;
+  // Readers spin on version_ while contending writers hammer the lock;
+  // keep the two hot words on separate cache lines (layout audit).
+  alignas(64) std::atomic<std::uint64_t> version_{0};
+  alignas(64) std::atomic_flag writer_lock_ = ATOMIC_FLAG_INIT;
   std::unique_ptr<Slot[]> slots_;
   std::unique_ptr<SlotStats[]> stats_;
 };

@@ -100,10 +100,13 @@ class CompositeRegister final : public Snapshot<V> {
   // -------------------------------------------------------------------
   std::uint64_t update(int component, const V& value) override {
     COMPREG_DCHECK(component >= 0 && component < c_);
+    // audit: exempt(waitfree, recursion depth bounded by C - each level strips one component, so a Write takes O(C) steps)
     if (component > 0) return inner_->update(component - 1, value);
 
 #ifndef NDEBUG
-    COMPREG_CHECK(!writer0_busy_->exchange(true),
+    // relaxed: the RMW's atomicity alone detects overlap; this
+    // debug-only guard carries no ordering contract.
+    COMPREG_CHECK(!writer0_busy_->exchange(true, std::memory_order_relaxed),
                   "concurrent Writers on one component (W=1 violated)");
 #endif
     std::uint64_t id;
@@ -118,7 +121,8 @@ class CompositeRegister final : public Snapshot<V> {
       id = write0(value);
     }
 #ifndef NDEBUG
-    writer0_busy_->store(false);
+    // relaxed: see the exchange above - debug guard only.
+    writer0_busy_->store(false, std::memory_order_relaxed);
 #endif
     return id;
   }
@@ -128,19 +132,24 @@ class CompositeRegister final : public Snapshot<V> {
   // -------------------------------------------------------------------
   void scan_items(int reader_id, std::vector<Item<V>>& out) override {
     COMPREG_DCHECK(reader_id >= 0 && reader_id < r_);
+    // audit: exempt(waitfree, Read recursion bounded by C - scan_items/read_general strip one level per call, O(2^C) steps total, paper Theorem 2)
 #ifndef NDEBUG
-    COMPREG_CHECK(!reader_busy_[reader_id].exchange(true),
+    // relaxed: the RMW's atomicity alone detects overlapping scans;
+    // this debug-only guard carries no ordering contract.
+    COMPREG_CHECK(!reader_busy_[reader_id].exchange(true, std::memory_order_relaxed),
                   "concurrent scans on one reader slot");
 #endif
     if (c_ == 1) {
       out.resize(1);
       out[0] = y0_->read(reader_id).item;
+      // relaxed: monotone stats counter, no ordering contract.
       stats_base_.fetch_add(1, std::memory_order_relaxed);
     } else {
       read_general(reader_id, out);
     }
 #ifndef NDEBUG
-    reader_busy_[reader_id].store(false);
+    // relaxed: see the exchange above - debug guard only.
+    reader_busy_[reader_id].store(false, std::memory_order_relaxed);
 #endif
   }
 
@@ -160,10 +169,10 @@ class CompositeRegister final : public Snapshot<V> {
   };
   ScanCaseStats scan_case_stats() const {
     return ScanCaseStats{
-        stats_adopted_.load(std::memory_order_relaxed),
-        stats_first_.load(std::memory_order_relaxed),
-        stats_second_.load(std::memory_order_relaxed),
-        stats_base_.load(std::memory_order_relaxed)};
+        stats_adopted_.load(std::memory_order_relaxed),  // stats: no ordering
+        stats_first_.load(std::memory_order_relaxed),    // stats: no ordering
+        stats_second_.load(std::memory_order_relaxed),   // stats: no ordering
+        stats_base_.load(std::memory_order_relaxed)};    // stats: no ordering
   }
 
   // Same counters for every recursion level, outermost first (the last
@@ -244,6 +253,8 @@ class CompositeRegister final : public Snapshot<V> {
   // newseq != s0 && newseq != s1 (possible because newseq ranges 0..2).
   static std::uint8_t pick_newseq(std::uint8_t s0, std::uint8_t s1) {
     for (std::uint8_t v = 0;; ++v) {
+      // 3 candidate values, at most 2 exclusions: v never reaches 3.
+      COMPREG_CHECK(v <= 2, "pick_newseq: 3 values minus 2 exclusions");
       if (v != s0 && v != s1) return v;
     }
   }
@@ -307,19 +318,19 @@ class CompositeRegister final : public Snapshot<V> {
       for (int k = 0; k < c_; ++k) {
         out[static_cast<std::size_t>(k)] = e.ss[static_cast<std::size_t>(k)];
       }
-      stats_adopted_.fetch_add(1, std::memory_order_relaxed);
+      stats_adopted_.fetch_add(1, std::memory_order_relaxed);  // stats only, unordered
     } else if (a.wc == c.wc) {
       out[0] = a.item;
       for (int k = 1; k < c_; ++k) {
         out[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(k - 1)];
       }
-      stats_first_.fetch_add(1, std::memory_order_relaxed);
+      stats_first_.fetch_add(1, std::memory_order_relaxed);  // stats only, unordered
     } else {  // c.wc == e.wc
       out[0] = c.item;
       for (int k = 1; k < c_; ++k) {
         out[static_cast<std::size_t>(k)] = d[static_cast<std::size_t>(k - 1)];
       }
-      stats_second_.fetch_add(1, std::memory_order_relaxed);
+      stats_second_.fetch_add(1, std::memory_order_relaxed);  // stats only, unordered
     }
     // 9: return
   }
@@ -332,6 +343,7 @@ class CompositeRegister final : public Snapshot<V> {
   Writer0State w0_;                           // Writer 0 private state
 
   // Statement-8 outcome counters (see scan_case_stats()).
+  // audit: exempt(layout, every reader bumps one of these four on every scan - striping per reader would cost 64B x R per level for debug stats)
   mutable std::atomic<std::uint64_t> stats_adopted_{0};
   mutable std::atomic<std::uint64_t> stats_first_{0};
   mutable std::atomic<std::uint64_t> stats_second_{0};

@@ -33,6 +33,7 @@ bool parse_partition(const std::string& body, PartitionSpec& out) {
   }
   std::istringstream nodes(body.substr(at + 1));
   std::string tok;
+  // audit: exempt(waitfree, plan-string parsing at configuration time - bounded by the input text, never on an operation path)
   while (std::getline(nodes, tok, '.')) {
     int node = 0;
     if (!parse_int(tok, node)) return false;

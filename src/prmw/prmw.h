@@ -92,6 +92,7 @@ class PrmwObject {
 };
 
 // Default factory: Anderson composite-register backend.
+// audit: exempt(blocking, construction-time factory - allocation happens before the object is shared, never on an op path)
 template <typename Op>
 PrmwObject<Op> make_prmw(int processes, int readers) {
   using V = typename Op::value_type;

@@ -61,6 +61,7 @@ class HazardCell {
     ++op_counters().reg_reads;
     HazardSlot& slot = hazards_[static_cast<std::size_t>(reader_id)];
     Node* node = current_.load(std::memory_order_seq_cst);
+    // audit: exempt(waitfree, hazard-pointer protect/verify is lock-free not wait-free - a retry needs a concurrent write; TaggedCell is the strictly wait-free cell)
     for (;;) {
       slot.ptr.store(node, std::memory_order_seq_cst);
       Node* check = current_.load(std::memory_order_seq_cst);
@@ -68,6 +69,8 @@ class HazardCell {
       node = check;
     }
     T out = node->value;
+    // release: the protected read of node->value must complete before
+    // the slot is published empty, or the writer could free it under us.
     slot.ptr.store(nullptr, std::memory_order_release);
     return out;
   }
@@ -76,6 +79,7 @@ class HazardCell {
   void write(const T& value) {
     sched::point(access_.write());
     ++op_counters().reg_writes;
+    // audit: exempt(blocking, one allocation per write with live set bounded by readers+1 - the allocator cost is this cell's documented trade-off vs TaggedCell)
     Node* node = new Node{value};
     Node* old = current_.exchange(node, std::memory_order_seq_cst);
     retired_.push_back(old);

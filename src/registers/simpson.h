@@ -63,9 +63,13 @@ class SimpsonRegister {
  private:
   sched::AccessLabel access_;
   T data_[2][2];
+  // Writer-written control words share a line on purpose (one writer);
+  // the reader-written handshake word gets its own line so reader
+  // traffic does not invalidate the writer's line (layout audit).
+  // audit: exempt(layout, latest_ and slot_ are written only by the single writer - one shared line is the cheap correct layout)
   std::atomic<std::uint8_t> latest_{0};   // written by writer
-  std::atomic<std::uint8_t> reading_{0};  // written by reader
   std::atomic<std::uint8_t> slot_[2]{0, 0};  // written by writer
+  alignas(64) std::atomic<std::uint8_t> reading_{0};  // written by reader
 };
 
 }  // namespace compreg::registers

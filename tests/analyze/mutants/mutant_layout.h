@@ -1,0 +1,23 @@
+// Seeded mutant for tools/analyze --self-test: the layout pass MUST
+// flag this file (two atomics on one 64-byte line with no alignas
+// separation and no exemption) and no other pass may fire. The struct
+// has no member functions, so the op-level passes have nothing to look
+// at.
+//
+// This header is never compiled into the build; it exists only as
+// analyzer input.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace compreg::mutants {
+
+// writer_side is hammered by the writer thread, reader_side by the
+// readers; at offsets 0 and 8 they share a cache line.
+struct SharedLine {
+  std::atomic<std::uint64_t> writer_side{0};
+  std::atomic<std::uint64_t> reader_side{0};
+};
+
+}  // namespace compreg::mutants

@@ -1,0 +1,11 @@
+"""Entry point: `python3 tools/analyze [args]`."""
+
+import sys
+
+if __package__ in (None, ""):
+    import os
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import driver  # noqa: E402
+
+sys.exit(driver.main())

@@ -1,0 +1,286 @@
+"""layout pass: static struct layout and false-sharing audit.
+
+False sharing — two atomics hammered by different threads landing on
+one 64-byte cache line — is invisible to every dynamic tool this repo
+runs (TSan sees no race, chaos sees no bug, only throughput dies).
+This pass recomputes struct layouts statically from the member
+declaration order:
+
+  * member sizes/alignments come from a table of fundamentals,
+    pointers, smart pointers, std::atomic<T> (size of T), atomic_flag,
+    and arrays thereof;
+  * a member of unknown size breaks the offset chain — subsequent
+    offsets restart relative to an unknown base (conservative, stated
+    in the census rather than guessed);
+  * two atomic members whose start offsets are within 64 bytes of each
+    other (same chain segment) are reported as potentially sharing a
+    cache line, UNLESS an alignas(64) separates them.
+
+The pass cannot know which thread writes which member, so the finding
+asks the author to decide: distinct writers -> separate with
+alignas(64); same writer (or cold data) -> exempt with
+`audit: exempt(layout, <reason>)` on the struct. Either way the layout
+decision becomes visible in the source and in AUDIT.json.
+
+Census: every audited record with member/atomic counts and the computed
+size lower bound (when the whole chain resolved).
+"""
+
+import re
+
+NAME = "layout"
+DESCRIPTION = ("struct layout / false-sharing audit: atomics sharing a "
+               "64-byte line without alignas separation")
+
+CACHE_LINE = 64
+
+_FUNDAMENTAL = {
+    "bool": 1, "char": 1, "signed char": 1, "unsigned char": 1,
+    "int8_t": 1, "uint8_t": 1, "std::byte": 1,
+    "short": 2, "unsigned short": 2, "int16_t": 2, "uint16_t": 2,
+    "char16_t": 2,
+    "int": 4, "unsigned": 4, "unsigned int": 4, "int32_t": 4,
+    "uint32_t": 4, "float": 4, "char32_t": 4,
+    "long": 8, "unsigned long": 8, "long long": 8,
+    "unsigned long long": 8, "int64_t": 8, "uint64_t": 8,
+    "size_t": 8, "ptrdiff_t": 8, "intptr_t": 8, "uintptr_t": 8,
+    "double": 8, "seq_t": 8,
+}
+_OPAQUE = {
+    "unique_ptr": 8, "shared_ptr": 16, "weak_ptr": 16,
+    "vector": 24, "string": 32, "deque": 80, "function": 32,
+}
+_SKIP_HEAD = re.compile(
+    r"^\s*(struct|class|union|enum|using|typedef|friend|static_assert|"
+    r"template|public|private|protected|explicit|virtual|operator|"
+    r"COMPREG_\w+|~)\b")
+
+
+class Member:
+    __slots__ = ("name", "type", "line", "size", "align", "is_atomic",
+                 "alignas", "segment", "offset")
+
+    def __init__(self, name, type_, line):
+        self.name = name
+        self.type = type_
+        self.line = line
+        self.size = None
+        self.align = None
+        self.is_atomic = False
+        self.alignas = 0
+        self.segment = 0
+        self.offset = None
+
+
+def _strip_std(t):
+    return re.sub(r"\bstd::", "", t)
+
+
+def _sizeof(type_text):
+    """(size, align, is_atomic) or (None, None, is_atomic)."""
+    t = _strip_std(" ".join(type_text.split()))
+    t = re.sub(r"\b(mutable|const|volatile|typename)\b", "", t).strip()
+    is_atomic = False
+    m = re.match(r"^atomic\s*<(.*)>$", t)
+    if m:
+        is_atomic = True
+        t = m.group(1).strip()
+    elif t == "atomic_flag":
+        return 1, 1, True
+    if "*" in t:
+        return 8, 8, is_atomic
+    if t in _FUNDAMENTAL:
+        s = _FUNDAMENTAL[t]
+        return s, s, is_atomic
+    m = re.match(r"^(\w+)\s*<", t)
+    if m and m.group(1) in _OPAQUE and not is_atomic:
+        return _OPAQUE[m.group(1)], 8, False
+    m = re.match(r"^array\s*<(.*),\s*(\d+)\s*>$", t)
+    if m and not is_atomic:
+        s, a, _ = _sizeof(m.group(1))
+        if s is not None:
+            return s * int(m.group(2)), a, False
+    return None, None, is_atomic
+
+
+def _blank_nested(body):
+    """Blank nested brace groups. Function bodies (brace preceded by ')',
+    '}' or a specifier keyword) are replaced by ';' so the header becomes
+    its own chunk; brace initializers keep their braces."""
+    out = []
+    i, n = 0, len(body)
+    while i < n:
+        c = body[i]
+        if c != "{":
+            out.append(c)
+            i += 1
+            continue
+        depth = 0
+        j = i
+        while j < n:
+            if body[j] == "{":
+                depth += 1
+            elif body[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        group = body[i:j + 1]
+        behind = "".join(out).rstrip()
+        prev_word = re.search(r"([\w)\}:]+)\s*$", behind)
+        prev = prev_word.group(1) if prev_word else ""
+        is_fn_body = (prev.endswith((")", "}")) or prev in
+                      ("const", "override", "final", "noexcept", "try")
+                      or prev.endswith(":"))
+        nl = "".join("\n" for ch in group if ch == "\n")
+        if is_fn_body:
+            out.append(";" + nl)
+        else:
+            out.append("{ }" + nl)
+        i = j + 1
+    return "".join(out)
+
+
+def _record_body(src, scope):
+    off = src.line_offset(scope.start)
+    open_idx = src.clean.find("{", off)
+    if open_idx < 0:
+        return None, scope.start
+    depth = 0
+    close = len(src.clean) - 1
+    for k in range(open_idx, len(src.clean)):
+        if src.clean[k] == "{":
+            depth += 1
+        elif src.clean[k] == "}":
+            depth -= 1
+            if depth == 0:
+                close = k
+                break
+    return src.clean[open_idx + 1:close], scope.start
+
+
+def _parse_members(src, scope):
+    body, base_line = _record_body(src, scope)
+    if body is None:
+        return []
+    flat = _blank_nested(body)
+    members = []
+    line = base_line  # line of the '{'
+    chunk_start_line = line
+    chunk = []
+    for c in flat + ";":
+        if c == "\n":
+            line += 1
+        if c == ";":
+            text = "".join(chunk)
+            members.extend(_parse_chunk(text, chunk_start_line))
+            chunk = []
+            chunk_start_line = line
+        else:
+            chunk.append(c)
+    return members
+
+
+def _parse_chunk(text, start_line):
+    # Line of the declaration = line of its last non-blank content.
+    leading_nl = 0
+    for ch in text:
+        if ch == "\n":
+            leading_nl += 1
+        elif not ch.isspace():
+            break
+    line = start_line + leading_nl
+    stripped = re.sub(r"\b(public|private|protected)\s*:", " ", text)
+    stripped = stripped.strip()
+    if not stripped or _SKIP_HEAD.match(stripped):
+        return []
+    if re.search(r"\b(static|constexpr)\b", stripped):
+        return []  # no instance storage
+    al = 0
+    m = re.search(r"alignas\s*\(\s*(\d+)\s*\)", stripped)
+    if m:
+        al = int(m.group(1))
+        stripped = stripped[:m.start()] + stripped[m.end():]
+    # Drop the initializer, then match `<type tokens> <name> [arr]`.
+    no_init = re.sub(r"(\{.*\}|=.*)\s*$", "", stripped,
+                     flags=re.S).strip()
+    probe = no_init
+    while re.search(r"<[^<>]*>", probe):
+        probe = re.sub(r"<[^<>]*>", "#", probe)
+    if "(" in probe:
+        return []  # function/operator declaration
+    dm = re.match(r"^(?P<type>.+?)\s+(?P<name>\w+)\s*"
+                  r"(?P<arr>\[\s*\w*\s*\])?\s*$", no_init, re.S)
+    if not dm:
+        return []
+    mem = Member(dm.group("name"), dm.group("type").strip(), line)
+    size, align, is_atomic = _sizeof(mem.type)
+    if size is not None and dm.group("arr"):
+        n = re.match(r"\[\s*(\d+)\s*\]", dm.group("arr"))
+        size = size * int(n.group(1)) if n else None
+    mem.size, mem.align, mem.is_atomic = size, align, is_atomic
+    mem.alignas = al
+    return [mem]
+
+
+def _lay_out(members):
+    segment, offset = 0, 0
+    for mem in members:
+        if mem.size is None:
+            segment += 1
+            offset = 0
+            mem.segment = segment
+            continue
+        align = max(mem.align or 1, mem.alignas or 1)
+        offset = (offset + align - 1) // align * align
+        mem.segment = segment
+        mem.offset = offset
+        offset += mem.size
+    return offset if segment == 0 else None
+
+
+def run(ctx):
+    src = ctx.src
+    for name, scope in src.records:
+        members = _parse_members(src, scope)
+        if not members:
+            continue
+        size_lb = _lay_out(members)
+        atomics = [m for m in members if m.is_atomic and m.offset is not None]
+        ctx.census(NAME, {
+            "kind": "record", "record": name, "line": scope.start,
+            "members": len(members),
+            "atomics": sum(1 for m in members if m.is_atomic),
+            "size_lower_bound": size_lb,
+        })
+        # Cluster atomics that can share a cache line. When an
+        # alignas(64) member forces the whole struct to line alignment,
+        # segment-0 offsets are exact and the test is "same 64-byte
+        # window"; otherwise the base alignment is unknown and any two
+        # atomics whose starts are within 64 bytes may share.
+        exact = any((m.alignas or 0) >= CACHE_LINE for m in members)
+        cluster = []
+        for mem in atomics:
+            if cluster and mem.segment == cluster[-1].segment:
+                if exact and mem.segment == 0:
+                    same = (mem.offset // CACHE_LINE
+                            == cluster[-1].offset // CACHE_LINE)
+                else:
+                    same = mem.offset - cluster[-1].offset < CACHE_LINE
+                if same:
+                    cluster.append(mem)
+                    continue
+            _flag_cluster(ctx, name, cluster)
+            cluster = [mem]
+        _flag_cluster(ctx, name, cluster)
+
+
+def _flag_cluster(ctx, record, cluster):
+    if len(cluster) < 2:
+        return
+    desc = ", ".join(f"{m.name} (+{m.offset})" for m in cluster)
+    ctx.finding(
+        NAME, cluster[0].line,
+        f"struct {record}: atomics {desc} may share a {CACHE_LINE}-byte "
+        "cache line; if distinct threads write them, separate with "
+        "alignas(64), otherwise exempt the struct with the reason")

@@ -1,0 +1,117 @@
+"""memorder pass: memory-order census and justification audit.
+
+ROADMAP item 1 (cache-aware native hot path) needs to start from
+measured ground: which atomic operations run at which memory order,
+and why. This pass walks every atomic operation in the audited trees
+(`.load/.store/.exchange/.fetch_*/.compare_exchange_*/.test_and_set`,
+plus `atomic_thread_fence` and `.clear(<order>)`) and:
+
+  * flags operations with NO explicit order — they silently default to
+    seq_cst, the most expensive fence on every architecture, and on a
+    hot path that is either a bug or an undocumented decision;
+  * flags WEAKENED orders (relaxed / acquire / release / acq_rel /
+    consume) that carry no justification comment — a `//` comment of
+    at least ten characters on the operation's own line(s) or the line
+    directly above. Weak orders are exactly where the memory-model
+    reasoning lives, and it must live in the source;
+  * records EVERY operation in the census (file, line, op, order), so
+    AUDIT.json carries the full memory-order map of the tree —
+    explicit seq_cst is legitimate (it documents itself) and is
+    census-only.
+
+Constructors and destructors are census-only for the default-order
+rule: pre-sharing initialization at seq_cst costs nothing measurable
+and rewriting it to relaxed would manufacture justification comments
+with no information in them.
+"""
+
+import bisect
+import re
+
+import cpplex
+
+NAME = "memorder"
+DESCRIPTION = ("memory-order audit: default-seq_cst atomics flagged, "
+               "weakened orders require a justification comment; full "
+               "census emitted")
+
+_ATOMIC_OP = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"test_and_set|wait|notify_one|notify_all)\s*\(|"
+    r"\b(atomic_thread_fence)\s*\(|"
+    r"(?:\.|->)\s*(clear)\s*\(\s*std::memory_order"
+)
+_ORDER = re.compile(r"\bmemory_order_(\w+)|\bmemory_order::(\w+)")
+_WEAK_ORDERS = {"relaxed", "acquire", "release", "acq_rel", "consume"}
+_MIN_JUSTIFICATION = 10
+
+# Methods that only exist on std::atomic / atomic_flag when they take a
+# memory_order; bare `.clear()` / `.wait()` on containers must not count.
+_NEEDS_ORDER_ARG = {"clear", "wait", "notify_one", "notify_all"}
+
+
+def _line_starts(clean):
+    starts = [0]
+    for i, c in enumerate(clean):
+        if c == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _has_justification(src, first_line, last_line):
+    """A `//` comment with >= _MIN_JUSTIFICATION chars of text on any
+    line the call spans, or on the line directly above it."""
+    for ln in range(max(1, first_line - 1), last_line + 1):
+        raw = src.lines[ln - 1] if ln <= len(src.lines) else ""
+        pos = raw.find("//")
+        if pos < 0:
+            continue
+        body = raw[pos + 2:].strip()
+        if len(body) >= _MIN_JUSTIFICATION:
+            return True
+    return False
+
+
+def run(ctx):
+    src = ctx.src
+    clean = src.clean
+    starts = _line_starts(clean)
+    for m in _ATOMIC_OP.finditer(clean):
+        op = m.group(1) or m.group(2) or m.group(3)
+        lineno = bisect.bisect_right(starts, m.start())
+        fn = src.enclosing_function(lineno)
+        open_idx = clean.find("(", m.start())
+        if open_idx < 0:
+            continue
+        end_idx, args = cpplex.balanced_args(clean, open_idx)
+        last_line = bisect.bisect_right(starts, end_idx - 1)
+        orders = [a or b for a, b in _ORDER.findall(args)]
+        in_ctor = fn is None or src.is_ctor_or_dtor(fn)
+
+        if not orders:
+            if op in _NEEDS_ORDER_ARG:
+                continue  # already guaranteed an order by the regex or
+                # (for wait/notify) ambiguous with non-atomics: skip
+            ctx.census(NAME, {"kind": "op", "line": lineno, "op": op,
+                              "order": "seq_cst (default)"})
+            if not in_ctor:
+                ctx.finding(
+                    NAME, lineno,
+                    f".{op}() with no memory_order argument defaults to "
+                    "seq_cst — state the order (and justify a weaker one "
+                    "with a comment) so the cost is a decision, not an "
+                    "accident")
+            continue
+
+        for order in orders:
+            ctx.census(NAME, {"kind": "op", "line": lineno, "op": op,
+                              "order": order})
+        weak = [o for o in orders if o in _WEAK_ORDERS]
+        if weak and not in_ctor:
+            if not _has_justification(src, lineno, last_line):
+                ctx.finding(
+                    NAME, lineno,
+                    f".{op}(memory_order_{weak[0]}) has no justification "
+                    "comment — weakened orders are exactly where the "
+                    "memory-model argument lives; write it next to the op")

@@ -1,0 +1,392 @@
+"""waitfree pass: static bounded-step progress audit.
+
+The paper's contract is that every Read and Write finishes in a bounded
+number of the caller's own steps. This pass flags the three static ways
+a function can lose that bound:
+
+  * unbounded loops — `for (;;)`, `while (true)`, loop conditions with
+    no relational bound, do/while retry loops;
+  * backward `goto` (a loop in disguise);
+  * recursion cycles in the per-file static call graph (the composite
+    Read's C-bounded recursion is real recursion — it must carry a
+    written exemption saying why the depth is bounded).
+
+Bounded shapes are recorded in the census instead of flagged:
+
+  * counted `for` loops (non-empty condition AND increment clause);
+  * range-for (bounded by the container);
+  * `while`/`do` conditions containing a relational comparison
+    (`<`, `<=`, `>`, `>=`) — heuristically bounded, recorded as such;
+  * "asserted-bound" loops: an unbounded loop whose body contains a
+    `COMPREG_CHECK(... < bound)` — the bound is enforced at runtime, so
+    the census records it and the assert text documents it.
+
+Everything else needs an `audit: exempt(waitfree, <reason>)`.
+"""
+
+import bisect
+import re
+
+import cpplex
+
+NAME = "waitfree"
+DESCRIPTION = ("bounded-step progress: unbounded loops, backward goto, "
+               "recursion cycles in wait-free entry points")
+
+_LOOP_KW = re.compile(r"\b(for|while|do|goto)\b")
+_RELATIONAL = re.compile(r"[^<>=!](<=|>=|<|>)[^<>=]")
+_CALL = re.compile(r"\b(\w+)\s*\(")
+_CHECK = re.compile(r"\bCOMPREG_CHECK\s*\(")
+
+
+def _line_starts(clean):
+    starts = [0]
+    for i, c in enumerate(clean):
+        if c == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _line_of(starts, idx):
+    return bisect.bisect_right(starts, idx)
+
+
+def _skip_ws(clean, i):
+    n = len(clean)
+    while i < n and clean[i].isspace():
+        i += 1
+    return i
+
+
+def _match_brace(clean, open_idx):
+    depth = 0
+    for i in range(open_idx, len(clean)):
+        c = clean[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(clean) - 1
+
+
+def _body_span(clean, after_idx):
+    """Span of the statement following a loop header: a brace block or a
+    single statement up to ';'."""
+    i = _skip_ws(clean, after_idx)
+    if i < len(clean) and clean[i] == "{":
+        return i, _match_brace(clean, i) + 1
+    j = clean.find(";", i)
+    return i, (len(clean) if j < 0 else j + 1)
+
+
+def _split_top_level(text, sep):
+    parts, depth, cur = [], 0, []
+    for c in text:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if c == sep and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def _has_asserted_bound(body):
+    """True when the loop body contains a COMPREG_CHECK asserting a
+    relational bound — the loop's bound is enforced at runtime."""
+    for m in _CHECK.finditer(body):
+        open_idx = body.find("(", m.end() - 1)
+        if open_idx < 0:
+            continue
+        _, args = cpplex.balanced_args(body, open_idx)
+        if re.search(r"<=|<|>=|>", args):
+            return True
+    return False
+
+
+def run(ctx):
+    src = ctx.src
+    clean = src.clean
+    starts = _line_starts(clean)
+    consumed_whiles = set()
+
+    for m in _LOOP_KW.finditer(clean):
+        kw = m.group(1)
+        lineno = _line_of(starts, m.start())
+        fn = src.enclosing_function(lineno)
+        if fn is None or src.is_ctor_or_dtor(fn):
+            continue  # member decls can't loop; ctors run pre-sharing
+
+        if kw == "goto":
+            _audit_goto(ctx, src, clean, starts, m, lineno)
+            continue
+
+        if kw == "do":
+            i = _skip_ws(clean, m.end())
+            if i >= len(clean) or clean[i] != "{":
+                continue  # `do` in an identifier-free context we don't parse
+            close = _match_brace(clean, i)
+            body = clean[i:close + 1]
+            w = _skip_ws(clean, close + 1)
+            if not clean.startswith("while", w):
+                continue
+            consumed_whiles.add(w)
+            open_idx = clean.find("(", w)
+            _, cond = cpplex.balanced_args(clean, open_idx)
+            _classify_conditioned(ctx, lineno, "do/while", cond, body)
+            continue
+
+        open_idx = clean.find("(", m.end())
+        if open_idx < 0 or clean[m.end():open_idx].strip():
+            continue  # not a loop statement (e.g. `while` in a name)
+
+        if kw == "while":
+            if m.start() in consumed_whiles:
+                continue
+            end_idx, cond = cpplex.balanced_args(clean, open_idx)
+            b0, b1 = _body_span(clean, end_idx)
+            _classify_conditioned(ctx, lineno, "while", cond, clean[b0:b1])
+            continue
+
+        # for
+        end_idx, args = cpplex.balanced_args(clean, open_idx)
+        b0, b1 = _body_span(clean, end_idx)
+        body = clean[b0:b1]
+        if ":" in _strip_template_args(args) and ";" not in args:
+            ctx.census(NAME, {"kind": "loop", "line": lineno,
+                              "bound": "range-for"})
+            continue
+        parts = _split_top_level(args, ";")
+        if len(parts) == 3 and parts[1].strip() and parts[2].strip():
+            ctx.census(NAME, {"kind": "loop", "line": lineno,
+                              "bound": "counted"})
+            continue
+        _report_unbounded(ctx, lineno, "for", args, body)
+
+    _audit_recursion(ctx, src, clean, starts)
+
+
+def _strip_template_args(text):
+    return re.sub(r"<[^<>]*>", "", text)
+
+
+def _classify_conditioned(ctx, lineno, shape, cond, body):
+    cond_s = cond.strip()
+    if cond_s in ("true", "1") or not cond_s:
+        _report_unbounded(ctx, lineno, shape, cond, body)
+        return
+    if _RELATIONAL.search(" " + _strip_template_args(cond) + " "):
+        ctx.census(NAME, {"kind": "loop", "line": lineno,
+                          "bound": "relational-condition (heuristic)"})
+        return
+    _report_unbounded(ctx, lineno, shape, cond, body)
+
+
+def _report_unbounded(ctx, lineno, shape, cond, body):
+    if _has_asserted_bound(body):
+        ctx.census(NAME, {"kind": "loop", "line": lineno,
+                          "bound": "asserted (COMPREG_CHECK in body)"})
+        return
+    cond_s = " ".join(cond.split()) or "<empty>"
+    ctx.finding(
+        NAME, lineno,
+        f"{shape} loop with no static bound (condition `{cond_s}`): "
+        "wait-freedom requires bounded steps; bound it, assert the bound "
+        "with COMPREG_CHECK, or exempt with a reason")
+
+
+def _audit_goto(ctx, src, clean, starts, m, lineno):
+    lbl = re.match(r"goto\s+(\w+)", clean[m.start():])
+    if not lbl:
+        return
+    label = lbl.group(1)
+    pat = re.compile(r"(?<![:\w])" + re.escape(label) + r"\s*:(?!:)")
+    for lm in pat.finditer(clean):
+        target_line = _line_of(starts, lm.start())
+        if target_line <= lineno:
+            ctx.finding(
+                NAME, lineno,
+                f"backward goto to `{label}:` (line {target_line}) forms "
+                "an unbounded loop")
+            return
+    ctx.census(NAME, {"kind": "goto", "line": lineno, "bound": "forward"})
+
+
+def _audit_recursion(ctx, src, clean, starts):
+    """Per-file static call graph; cycles are findings.
+
+    Edge rules, tuned so delegation does not read as recursion:
+      * an unqualified call to a function defined in this file is an
+        edge — except a same-name call with a different argument count,
+        which is overload delegation, not self-recursion;
+      * a qualified call `recv.f()` / `recv->f()` is an edge only when
+        recv is `this` or a data member whose declared type mentions
+        the enclosing record's own name (the composite's
+        `std::unique_ptr<CompositeRegister> inner_` — genuinely
+        recursive structure). Calls into members of OTHER types are the
+        delegation idiom and bottom out in that type's own audit.
+    """
+    names = {s.name for s in src.fn_scopes
+             if s.name and not src.is_ctor_or_dtor(s)}
+    graph = {}
+    anchor = {}  # name -> earliest definition line
+    for s in src.fn_scopes:
+        if not s.name or src.is_ctor_or_dtor(s):
+            continue
+        anchor.setdefault(s.name, s.start)
+        anchor[s.name] = min(anchor[s.name], s.start)
+
+    rec_members = _record_member_types(src)
+
+    for m in _CALL.finditer(clean):
+        callee = m.group(1)
+        if callee not in names:
+            continue
+        lineno = _line_of(starts, m.start())
+        fn = src.enclosing_function(lineno)
+        if fn is None or fn.name is None or src.is_ctor_or_dtor(fn):
+            continue
+        # A token on the header line matching the function's own name is
+        # (part of) the definition, not a call.
+        if callee == fn.name and lineno <= fn.start:
+            continue
+        qual = re.search(r"(?:(\w+)\s*)?(->|\.)\s*$", clean[:m.start()])
+        if qual:
+            recv = qual.group(1)
+            if recv != "this" and not _same_type_member(
+                    src, rec_members, fn, recv):
+                continue
+        elif callee == fn.name:
+            open_idx = clean.find("(", m.end() - 1)
+            if open_idx >= 0 and (_arity(cpplex.balanced_args(
+                    clean, open_idx)[1]) != _header_arity(fn.header)):
+                continue  # overload delegation, not self-recursion
+        graph.setdefault(fn.name, set()).add(callee)
+
+    for cycle in _cycles(graph):
+        first = min(cycle, key=lambda n: anchor.get(n, 1 << 30))
+        path = " -> ".join(sorted(cycle, key=lambda n: anchor.get(n, 0)))
+        ctx.finding(
+            NAME, anchor.get(first, 1),
+            f"recursion cycle in static call graph: {path}; unbounded "
+            "recursion breaks wait-freedom — exempt with the bound "
+            "argument if the depth is bounded by construction")
+
+
+def _record_member_types(src):
+    """record name -> {member name: declared type text}."""
+    import layout as layout_pass
+    out = {}
+    for rname, rscope in src.records:
+        types = out.setdefault(rname, {})
+        for mem in layout_pass._parse_members(src, rscope):
+            types[mem.name] = mem.type
+    return out
+
+
+def _same_type_member(src, rec_members, fn, recv):
+    """True when `recv` is a data member of fn's record whose declared
+    type mentions the record's own name (recursive structure)."""
+    if recv is None:
+        return False  # chained receiver expression: delegation
+    rec = None
+    for rname, rs in src.records:
+        if rs.start <= fn.start <= rs.end:
+            if rec is None or rs.start > rec[1].start:
+                rec = (rname, rs)
+    if rec is None:
+        return False
+    type_text = rec_members.get(rec[0], {}).get(recv)
+    if type_text is None:
+        return False
+    return re.search(r"\b" + re.escape(rec[0]) + r"\b", type_text) is not None
+
+
+def _arity(args_text):
+    args_text = args_text.strip()
+    if not args_text:
+        return 0
+    depth = 0
+    count = 1
+    for c in args_text:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            count += 1
+    return count
+
+
+def _header_arity(header):
+    open_idx = header.find("(")
+    if open_idx < 0:
+        return -1
+    depth = 0
+    for i in range(open_idx, len(header)):
+        c = header[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return _arity(header[open_idx + 1:i])
+    return _arity(header[open_idx + 1:])
+
+
+def _cycles(graph):
+    """Strongly connected components of size > 1, plus self-loops."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        work = [(v, iter(sorted(graph.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1 or node in graph.get(node, ()):
+                    sccs.append(frozenset(scc))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return sccs

@@ -18,6 +18,10 @@ mutex lock/unlock, lock_guard/unique_lock/scoped_lock construction)
 must also contain at least one labeled schedule-point call
 (sched::point / sched::observe) or a ScopedAccessObserver.
 
+The comment/string-stripping lexer and brace-scope parser live in
+tools/analyze/cpplex.py, shared with the multi-pass static auditor
+(tools/analyze) that grew out of this lint.
+
 Exemptions:
   - Constructors and destructors: they run before the object is shared
     (or after the last reader detaches), outside the scheduled region.
@@ -35,6 +39,11 @@ import argparse
 import os
 import re
 import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "analyze"))
+
+import cpplex  # noqa: E402
 
 DEFAULT_TREES = ("src/registers", "src/baselines", "src/net")
 
@@ -68,131 +77,13 @@ SCHED_POINT = re.compile(
 EXEMPT_MARKER = re.compile(r"sched-lint:\s*exempt\s*\(([^)]*)\)")
 EXEMPT_NO_REASON = re.compile(r"sched-lint:\s*exempt(?!\s*\()")
 
-CONTROL_KEYWORDS = {
-    "if", "for", "while", "switch", "catch", "return", "do", "else",
-    "sizeof", "alignas", "alignof", "decltype", "static_assert",
-    "new", "delete", "throw", "case", "default", "co_return",
-}
-
-NON_FUNCTION_HEADS = re.compile(
-    r"^\s*(namespace|struct|class|union|enum|extern)\b"
-)
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and literals, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else c)
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def function_name(header):
-    """Identifier before the first top-level '(' of a scope header."""
-    depth = 0
-    for idx, ch in enumerate(header):
-        if ch in "<[":
-            depth += 1
-        elif ch in ">]":
-            depth = max(0, depth - 1)
-        elif ch == "(" and depth == 0:
-            m = re.search(r"([~\w:]+)\s*$", header[:idx])
-            if not m:
-                return None
-            return m.group(1).split("::")[-1]
-    return None
-
-
-def parse_scopes(clean):
-    """Brace-matched scopes: (header, is_function, name, start, end) line spans.
-
-    A scope is function-like when its header ends in ')' (plus trailing
-    specifiers), names a non-keyword identifier before its first '(',
-    and is not a namespace/class/struct/enum/union head. Lambdas and
-    uniform-init braces become non-function scopes; ops inside them
-    attribute to the nearest enclosing function scope.
-    """
-    scopes = []
-    stack = []  # (header, is_function, name, start_line)
-    header_start = 0
-    line = 1
-    header_chars = []
-    i, n = 0, len(clean)
-    while i < n:
-        c = clean[i]
-        if c == "\n":
-            line += 1
-            header_chars.append(c)
-        elif c == "{":
-            header = "".join(header_chars).strip()
-            # Constructor member-init lists re-open after ':'; keep the
-            # whole header so the name extraction sees Foo::Foo(...).
-            name = function_name(header)
-            trimmed = re.sub(
-                r"(\)|\bconst\b|\bnoexcept\b|\boverride\b|\bfinal\b|"
-                r"->\s*[\w:<>,*&\s]+|:\s*[^{}]*)\s*$",
-                ")",
-                header,
-            )
-            is_fn = bool(
-                header
-                and not NON_FUNCTION_HEADS.search(header)
-                and name
-                and name.lstrip("~") not in CONTROL_KEYWORDS
-                and trimmed.endswith(")")
-                and "(" in header
-            )
-            stack.append((header, is_fn, name, line))
-            header_chars = []
-        elif c == "}":
-            if stack:
-                header, is_fn, name, start = stack.pop()
-                scopes.append((header, is_fn, name, start, line))
-            header_chars = []
-        elif c in ";":
-            header_chars = []
-        else:
-            header_chars.append(c)
-        i += 1
-    return scopes
-
-
-def class_names(clean):
-    return set(
-        re.findall(r"\b(?:class|struct)\s+(?:alignas\s*\([^)]*\)\s*)?(\w+)", clean)
-    )
-
 
 def lint_file(path, text):
     findings = []
-    clean = strip_comments_and_strings(text)
-    lines = text.splitlines()
-    clean_lines = clean.splitlines()
+    src = cpplex.SourceFile(path, text)
 
     exempt_lines = {}
-    for lineno, raw in enumerate(lines, 1):
+    for lineno, raw in enumerate(src.lines, 1):
         m = EXEMPT_MARKER.search(raw)
         if m:
             if not m.group(1).strip():
@@ -207,21 +98,9 @@ def lint_file(path, text):
                          "write sched-lint: exempt(<why>)")
             )
 
-    scopes = parse_scopes(clean)
-    ctors = class_names(clean)
-    fn_scopes = [s for s in scopes if s[1]]
-
-    def enclosing_function(lineno):
-        best = None
-        for header, _, name, start, end in fn_scopes:
-            if start <= lineno <= end:
-                if best is None or start > best[2]:
-                    best = (header, name, start, end)
-        return best
-
-    for lineno, cl in enumerate(clean_lines, 1):
+    for lineno, cl in enumerate(src.clean_lines, 1):
         for m in SYNC_OP.finditer(cl):
-            fn = enclosing_function(lineno)
+            fn = src.enclosing_function(lineno)
             if fn is None:
                 findings.append(
                     (lineno,
@@ -229,19 +108,17 @@ def lint_file(path, text):
                      "any recognized function scope")
                 )
                 continue
-            header, name, start, end = fn
-            if name and (name.lstrip("~") in ctors or name.startswith("~")):
+            if src.is_ctor_or_dtor(fn):
                 continue  # ctor/dtor: runs outside the shared region
             # A marker inside the body, on the header line, or on the
             # line(s) directly above the function exempts it.
-            if any(start - 2 <= el <= end for el in exempt_lines):
+            if any(fn.start - 2 <= el <= fn.end for el in exempt_lines):
                 continue
-            body = "\n".join(clean_lines[start - 1:end])
-            if SCHED_POINT.search(body):
+            if SCHED_POINT.search(src.function_body(fn)):
                 continue
             findings.append(
                 (lineno,
-                 f"`{name or header[:40]}` performs "
+                 f"`{fn.name or fn.header[:40]}` performs "
                  f"`{m.group(0).strip()}` with no sched::point/"
                  "sched::observe in scope — invisible to the scheduler; "
                  "add a labeled point or sched-lint: exempt(<reason>)")
