@@ -11,9 +11,17 @@
 //  * Mixed/<impl>/threads      — concurrent scans+updates, C = 4:
 //                                thread t is the writer of component t
 //                                while t < C, otherwise a scanner.
+//
+// `--json FILE` additionally writes every measured series row into the
+// shared BENCH_*.json envelope (schema_version 1, one flat row per
+// benchmark run — validated by tools/check_bench_schema.py). All other
+// flags pass through to google-benchmark (e.g. --benchmark_filter).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/afek_snapshot.h"
@@ -135,4 +143,85 @@ MIXED_SERIES(DoubleCollect);
 MIXED_SERIES(Mutex);
 MIXED_SERIES(Seqlock);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus one flat JSON row per measured run for
+// the schema-checked BENCH_throughput.json envelope.
+class RowCollector : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    int threads = 1;
+    std::int64_t iterations = 0;
+    double ns_per_op = 0;
+    double items_per_s = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.threads = run.threads;
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      row.ns_per_op = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) row.items_per_s = it->second;
+      rows.push_back(row);
+    }
+  }
+
+  std::vector<Row> rows;
+};
+
+int write_json(const char* path, const std::vector<RowCollector::Row>& rows) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_throughput: cannot open %s for writing\n",
+                 path);
+    return 1;
+  }
+  std::fprintf(out, "{\n\"schema_version\": 1,\n\"bench\": \"throughput\",\n");
+  std::fprintf(out, "\"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RowCollector::Row& r = rows[i];
+    std::fprintf(out,
+                 "  {\"experiment\":\"E4\",\"name\":\"%s\",\"threads\":%d,"
+                 "\"iterations\":%lld,\"ns_per_op\":%.3f,"
+                 "\"items_per_s\":%.1f}%s\n",
+                 r.name.c_str(), r.threads,
+                 static_cast<long long>(r.iterations), r.ns_per_op,
+                 r.items_per_s, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %zu rows to %s\n", rows.size(), path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --json FILE; everything else is google-benchmark's.
+  const char* json_path = nullptr;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 64;
+  }
+  RowCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (json_path != nullptr) return write_json(json_path, reporter.rows);
+  return 0;
+}

@@ -8,10 +8,12 @@ namespace compreg::lin {
 
 namespace {
 
-// Shared core: duplicate-id and writer-serial checks plus regularity
-// of every read. Returns writes sorted by id through `sorted`.
+// Shared core: duplicate-id check (plus, when `serial_writer`, the
+// writer-serial check) and regularity of every read. Returns writes
+// sorted by id through `sorted`.
 CheckResult check_regular_core(const RegisterHistory& h,
-                               std::vector<RegWrite>& sorted) {
+                               std::vector<RegWrite>& sorted,
+                               bool serial_writer = true) {
   sorted = h.writes;
   sorted.push_back(RegWrite{0, 0, 0});
   std::sort(sorted.begin(), sorted.end(),
@@ -30,7 +32,7 @@ CheckResult check_regular_core(const RegisterHistory& h,
     // `end < r.start`, so it can never render another value
     // "overwritten", and its real-time start still bounds the
     // future-write check.
-    if (sorted[i - 1].end != kPendingEnd &&
+    if (serial_writer && sorted[i - 1].end != kPendingEnd &&
         sorted[i - 1].end >= sorted[i].start) {
       return CheckResult{false, "writer operations overlap"};
     }
@@ -56,21 +58,10 @@ CheckResult check_regular_core(const RegisterHistory& h,
   return CheckResult{};
 }
 
-}  // namespace
-
-CheckResult check_register_regularity(const RegisterHistory& h) {
-  std::vector<RegWrite> sorted;
-  return check_regular_core(h, sorted);
-}
-
-CheckResult check_register_atomicity(const RegisterHistory& h) {
-  // Lamport: atomic = regular + no new-old inversion (single writer).
-  std::vector<RegWrite> writes;
-  const CheckResult regular = check_regular_core(h, writes);
-  if (!regular.ok) return regular;
-
-  // No new-old inversion: reads ordered in real time must return
-  // writes in id order (the single writer's ids are monotone).
+// No new-old inversion: reads ordered in real time must return writes
+// in id order (write ids are the serialization order in both the
+// single-writer and the funneled model).
+CheckResult check_no_new_old_inversion(const RegisterHistory& h) {
   std::vector<const RegRead*> by_start;
   by_start.reserve(h.reads.size());
   for (const RegRead& r : h.reads) by_start.push_back(&r);
@@ -96,6 +87,47 @@ CheckResult check_register_atomicity(const RegisterHistory& h) {
     }
   }
   return CheckResult{};
+}
+
+}  // namespace
+
+CheckResult check_register_regularity(const RegisterHistory& h) {
+  std::vector<RegWrite> sorted;
+  return check_regular_core(h, sorted);
+}
+
+CheckResult check_register_atomicity(const RegisterHistory& h) {
+  // Lamport: atomic = regular + no new-old inversion (single writer).
+  std::vector<RegWrite> writes;
+  const CheckResult regular = check_regular_core(h, writes);
+  if (!regular.ok) return regular;
+  return check_no_new_old_inversion(h);
+}
+
+CheckResult check_register_atomicity_funneled(const RegisterHistory& h) {
+  std::vector<RegWrite> writes;
+  const CheckResult regular =
+      check_regular_core(h, writes, /*serial_writer=*/false);
+  if (!regular.ok) return regular;
+
+  // Serialization-point feasibility in id (= server timestamp) order.
+  // Greedy is exact here: placing each write at the earliest point
+  // consistent with its start and the previous placement leaves maximal
+  // room for every later write, so if greedy fails, no monotone
+  // placement exists. A pending write has no client-observed completion
+  // bound, but it still cannot serialize before its invocation (or
+  // before earlier-ts writes), so it advances the lower bound without
+  // being checked against an end.
+  std::uint64_t t = 0;  // placement of the previous write (id 0 at 0)
+  for (std::size_t i = 1; i < writes.size(); ++i) {
+    const RegWrite& w = writes[i];
+    t = std::max(t + 1, w.start);
+    if (w.end != kPendingEnd && t > w.end) {
+      return CheckResult{false,
+                         "no timestamp-monotone write serialization exists"};
+    }
+  }
+  return check_no_new_old_inversion(h);
 }
 
 }  // namespace compreg::lin

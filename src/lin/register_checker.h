@@ -43,4 +43,20 @@ CheckResult check_register_atomicity(const RegisterHistory& h);
 // for the regular layers of the theoretical chain.
 CheckResult check_register_regularity(const RegisterHistory& h);
 
+// Atomicity for writes funneled through a serializing intermediary
+// (the register server): many clients issue writes concurrently, the
+// server assigns each a timestamp from one monotone sequence and runs
+// them as the single ABD writer. `id` is the server-assigned timestamp
+// (so ids are the serialization order), while start/end are the
+// *client-side* intervals, which overlap freely. The writer-serial
+// check of check_register_atomicity is replaced by an interval
+// feasibility check: there must exist serialization points
+// t_1 < t_2 < ... (in id order) with t_i inside write i's interval —
+// decided greedily by placing each write at
+// max(previous point + 1, start). Pending writes (end == kPendingEnd,
+// response lost or degraded) only advance the lower bound. Read checks
+// (regularity + no new-old inversion) are unchanged: they are stated
+// on raw intervals and stay sound under concurrent invocations.
+CheckResult check_register_atomicity_funneled(const RegisterHistory& h);
+
 }  // namespace compreg::lin

@@ -175,7 +175,13 @@ int run_replica(const ReplicaConfig& cfg) {
       }
       case MsgType::kStoreAck:
       case MsgType::kQueryReply:
-        break;  // client-role frames; stray ones are ignored
+      case MsgType::kWriteReq:
+      case MsgType::kReadReq:
+      case MsgType::kWriteOk:
+      case MsgType::kReadOk:
+      case MsgType::kUnavailableResp:
+      case MsgType::kBusyResp:
+        break;  // client-role / service-layer frames; stray ones ignored
     }
   }
   return 0;

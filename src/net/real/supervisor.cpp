@@ -117,6 +117,27 @@ void Supervisor::terminate_all(std::chrono::milliseconds grace) {
   }
 }
 
+void Supervisor::terminate(int node, std::chrono::milliseconds grace) {
+  Child* c = find(node);
+  if (c == nullptr || !c->running) return;
+  ::kill(c->pid, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  while (true) {
+    int status = 0;
+    const pid_t r = ::waitpid(c->pid, &status, WNOHANG);
+    if (r == c->pid || (r < 0 && errno == ECHILD)) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(c->pid, SIGKILL);
+      ::waitpid(c->pid, nullptr, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  events_.push_back(ProcEvent{ProcEvent::Kind::kExit, c->node, c->pid,
+                              now_ns()});
+  c->running = false;
+}
+
 bool Supervisor::alive(int node) const {
   const Child* c = find(node);
   return c != nullptr && c->running;

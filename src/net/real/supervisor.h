@@ -55,6 +55,12 @@ class Supervisor {
   // SIGTERM + bounded wait, escalating to SIGKILL; reaps everything.
   void terminate_all(std::chrono::milliseconds grace);
 
+  // SIGTERM one node with a bounded wait, escalating to SIGKILL. The
+  // graceful-shutdown path for processes (like the register server)
+  // that drain and report on SIGTERM. No-op if the node has no live
+  // process.
+  void terminate(int node, std::chrono::milliseconds grace);
+
   bool alive(int node) const;
   pid_t pid_of(int node) const;
   const std::vector<ProcEvent>& events() const { return events_; }

@@ -46,7 +46,7 @@ bool decode_payload(const unsigned char* data, std::size_t len, WireMsg& out) {
   if (len != kWireMsgBytes) return false;
   const auto type = static_cast<std::uint8_t>(data[0]);
   if (type < static_cast<std::uint8_t>(MsgType::kStore) ||
-      type > static_cast<std::uint8_t>(MsgType::kSyncReply)) {
+      type > static_cast<std::uint8_t>(MsgType::kBusyResp)) {
     return false;
   }
   out.type = static_cast<MsgType>(type);

@@ -40,6 +40,15 @@ enum class MsgType : std::uint8_t {
   kQueryReply = 4,
   kSyncReq = 5,    // rejoin catch-up: op = incarnation tag
   kSyncReply = 6,
+  // Client-facing register service vocabulary (src/server/). These
+  // types flow only between external clients and the server front-end;
+  // replicas never see them (their event loop handles 1..6 only).
+  kWriteReq = 7,        // WRITE(val): op = client op seq, val = payload
+  kReadReq = 8,         // READ: op = client op seq
+  kWriteOk = 9,         // ts = server-assigned timestamp of the write
+  kReadOk = 10,         // (ts, val) = the collected register state
+  kUnavailableResp = 11,  // retry budget spent against the fleet
+  kBusyResp = 12,         // admission control rejected the op (typed Busy)
 };
 
 struct WireMsg {

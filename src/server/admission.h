@@ -1,0 +1,56 @@
+// Admission control: a bounded in-flight gate instead of an unbounded
+// queue.
+//
+// Every admitted op holds one unit from request-decode until its
+// response frame is handed to the transport. When the gate is full the
+// front-end answers kBusyResp immediately — the client sees explicit
+// backpressure in one round trip instead of a silently growing queue
+// and a timeout. The gate is a single atomic counter: try_acquire is
+// one fetch_add (with a compensating fetch_sub on the full path), so
+// admission adds no lock and no allocation to the request path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace compreg::server {
+
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::uint32_t limit) : limit_(limit) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  // One unit of in-flight budget; false = full (answer Busy).
+  bool try_acquire() {
+    // acq_rel: the admit must be ordered against this op's subsequent
+    // queue insertion, and release() pairs with it from other threads.
+    const std::uint32_t n = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (n >= limit_) {
+      // Compensate the optimistic add; release order publishes it.
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  void release() {
+    // release: pairs with try_acquire's acq_rel so a freed unit is
+    // visible to the next admission decision.
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+
+  std::uint32_t in_flight() const {
+    // acquire pairs with release(); an instantaneous gauge either way.
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  std::uint32_t limit() const { return limit_; }
+
+ private:
+  std::atomic<std::uint32_t> in_flight_{0};
+  std::uint32_t limit_;
+};
+
+}  // namespace compreg::server

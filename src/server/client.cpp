@@ -1,0 +1,121 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace compreg::server {
+
+using net::real::TransportKind;
+using net::real::WireMsg;
+
+ServerClient::ServerClient(const ClientConfig& cfg) : cfg_(cfg) {}
+
+ServerClient::~ServerClient() { close(); }
+
+void ServerClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServerClient::connect(std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (true) {
+    int fd = -1;
+    int rc = -1;
+    if (cfg_.kind == TransportKind::kUds) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd >= 0) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        const std::string path = cfg_.front_dir + "/replica-0.sock";
+        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+      }
+    } else {
+      fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd >= 0) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(cfg_.front_base_port));
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+      }
+    }
+    if (rc == 0) {
+      fd_ = fd;
+      return true;
+    }
+    if (fd >= 0) ::close(fd);
+    if (std::chrono::steady_clock::now() >= until) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+bool ServerClient::send(const WireMsg& msg) {
+  if (fd_ < 0) return false;
+  std::vector<unsigned char> frame;
+  net::real::append_frame(frame, msg);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<WireMsg> ServerClient::recv(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return std::nullopt;
+  const auto until = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (auto msg = reader_.next()) return msg;
+    if (reader_.corrupt()) {
+      close();
+      return std::nullopt;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= until) return std::nullopt;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(until - now);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    if (pr == 0) continue;  // deadline re-checked above
+    unsigned char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      reader_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    close();  // EOF or hard error
+    return std::nullopt;
+  }
+}
+
+}  // namespace compreg::server

@@ -1,0 +1,63 @@
+// Blocking client connection to the register server.
+//
+// Unlike SocketTransport (fair-lossy by design: a frame to a wedged or
+// unreachable peer is silently dropped), a *client* of the register
+// service wants a reliable request pipe: if connect() succeeded, send()
+// either delivers the frame into the kernel or reports failure, so a
+// missing response always means "response lost or server slow", never
+// "request silently discarded by my own library". That asymmetry is why
+// this is a plain blocking socket with an explicit poll-based receive
+// deadline rather than a fourth SocketTransport endpoint.
+//
+// One connection per client; the client's logical id rides in every
+// frame's src field (the server learns the id -> connection mapping
+// from the first frame). Not thread-safe: one owner thread per client.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/real/transport.h"  // TransportKind
+#include "net/real/wire.h"
+
+namespace compreg::server {
+
+struct ClientConfig {
+  net::real::TransportKind kind = net::real::TransportKind::kUds;
+  std::string front_dir;     // UDS: directory holding replica-0.sock
+  int front_base_port = 0;   // TCP: the server listens on this port
+  std::uint32_t id = 1;      // logical client id (>= 1; 0 is the server)
+};
+
+class ServerClient {
+ public:
+  explicit ServerClient(const ClientConfig& cfg);
+  ~ServerClient();
+
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+
+  // Connects, retrying until the deadline (the server may still be
+  // starting, or the accept backlog momentarily full). False = never
+  // connected.
+  bool connect(std::chrono::milliseconds deadline);
+
+  // Writes one frame fully into the kernel. False = connection broken.
+  bool send(const net::real::WireMsg& msg);
+
+  // Next frame within `timeout`; nullopt on timeout, connection loss,
+  // or corrupt stream (connected() turns false for the latter two).
+  std::optional<net::real::WireMsg> recv(std::chrono::milliseconds timeout);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  ClientConfig cfg_;
+  int fd_ = -1;
+  net::real::FrameReader reader_;
+};
+
+}  // namespace compreg::server

@@ -1,0 +1,62 @@
+#include "server/protocol.h"
+
+namespace compreg::server {
+
+using net::real::MsgType;
+using net::real::WireMsg;
+
+bool decode_request(const WireMsg& msg, Request& out) {
+  if (msg.type != MsgType::kWriteReq && msg.type != MsgType::kReadReq) {
+    return false;
+  }
+  out.is_write = msg.type == MsgType::kWriteReq;
+  out.client = msg.src;
+  out.op = msg.op;
+  out.val = out.is_write ? msg.val : 0;
+  return true;
+}
+
+WireMsg make_response(std::uint32_t self, const Request& req, Status status,
+                      std::uint64_t ts, std::uint64_t val) {
+  WireMsg msg;
+  switch (status) {
+    case Status::kOk:
+      msg.type = req.is_write ? MsgType::kWriteOk : MsgType::kReadOk;
+      break;
+    case Status::kUnavailable:
+      msg.type = MsgType::kUnavailableResp;
+      break;
+    case Status::kBusy:
+      msg.type = MsgType::kBusyResp;
+      break;
+  }
+  msg.src = self;
+  msg.op = req.op;
+  // Busy carries no register state: the op never touched the fleet.
+  msg.ts = status == Status::kBusy ? 0 : ts;
+  msg.val = status == Status::kBusy ? 0 : val;
+  return msg;
+}
+
+WireMsg make_write_req(std::uint32_t client, std::uint64_t op,
+                       std::uint64_t val) {
+  WireMsg msg;
+  msg.type = MsgType::kWriteReq;
+  msg.src = client;
+  msg.op = op;
+  msg.ts = 0;
+  msg.val = val;
+  return msg;
+}
+
+WireMsg make_read_req(std::uint32_t client, std::uint64_t op) {
+  WireMsg msg;
+  msg.type = MsgType::kReadReq;
+  msg.src = client;
+  msg.op = op;
+  msg.ts = 0;
+  msg.val = 0;
+  return msg;
+}
+
+}  // namespace compreg::server

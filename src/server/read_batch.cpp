@@ -1,0 +1,43 @@
+#include "server/read_batch.h"
+
+#include <utility>
+
+namespace compreg::server {
+
+void ReadBatcher::enqueue(const Item& item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(item);
+  }
+  cv_.notify_one();
+}
+
+std::vector<ReadBatcher::Item> ReadBatcher::take_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !pending_.empty() || stopped_; });
+  std::vector<Item> batch;
+  batch.swap(pending_);
+  return batch;
+}
+
+std::vector<ReadBatcher::Item> ReadBatcher::try_take_batch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Item> batch;
+  batch.swap(pending_);
+  return batch;
+}
+
+void ReadBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t ReadBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace compreg::server

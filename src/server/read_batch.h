@@ -1,0 +1,63 @@
+// Read batching: concurrent reader collects share one quorum round.
+//
+// ABD reads are expensive — a query quorum plus (usually) a write-back
+// quorum. When N clients read concurrently, their collects are
+// redundant: one quorum round started after all N requests arrived can
+// answer every one of them with a value that is at least as fresh as
+// what each would have collected alone (the one-round fast-read
+// observation of Imbs–Mostéfaoui–Perrin–Raynal, applied server-side).
+// The staleness argument is purely temporal and lives in take_batch():
+// a batch is the *swap-out* of the whole pending queue, so the shared
+// collect begins strictly after every member's enqueue — each member
+// gets a value no staler than a fresh collect it could have started
+// itself. Requests that arrive while a round is in flight wait for the
+// next round; they are never folded into a collect that predates them.
+//
+// The batcher is the synchronization point between the front-end thread
+// (enqueue) and the read worker (take_batch); it is deliberately just a
+// mutex + condvar around a vector — the wait-free discipline applies to
+// the telemetry on the operation path, not to the service layer's
+// thread handoff.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace compreg::server {
+
+class ReadBatcher {
+ public:
+  struct Item {
+    Request req;
+    std::chrono::steady_clock::time_point t0;  // request arrival
+  };
+
+  // Front-end side: queue one read for the next shared collect.
+  void enqueue(const Item& item);
+
+  // Worker side: block until at least one read is pending (or stop()),
+  // then swap out and return the ENTIRE pending queue as one batch.
+  // The caller runs one shared quorum collect for the whole batch; the
+  // collect starting after this return is what bounds staleness. An
+  // empty result means stopped-and-drained.
+  std::vector<Item> take_batch();
+
+  // Non-blocking variant: returns the current queue (possibly empty).
+  std::vector<Item> try_take_batch();
+
+  void stop();
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Item> pending_;
+  bool stopped_ = false;
+};
+
+}  // namespace compreg::server

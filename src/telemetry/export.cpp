@@ -1,0 +1,76 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace compreg::telemetry {
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n) < sizeof buf
+                                 ? static_cast<std::size_t>(n)
+                                 : sizeof buf - 1);
+}
+
+}  // namespace
+
+std::string to_text(const Snapshot& snap) {
+  std::string out;
+  appendf(out, "recorders %" PRIu64 "\n", snap.recorders);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    appendf(out, "counter %s %" PRIu64 "\n",
+            counter_name(static_cast<Counter>(i)), snap.counters[i]);
+  }
+  for (std::size_t h = 0; h < kHistoCount; ++h) {
+    const HistoSnapshot& hs = snap.histos[h];
+    appendf(out,
+            "histo %s count=%" PRIu64 " sum=%" PRIu64
+            " mean=%.3f p50=%" PRIu64 " p99=%" PRIu64 " p999=%" PRIu64 "\n",
+            histo_name(static_cast<Histo>(h)), hs.count(), hs.sum, hs.mean(),
+            hs.quantile(0.50), hs.quantile(0.99), hs.quantile(0.999));
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snap, const std::string& bench,
+                    const std::string& experiment) {
+  std::string out;
+  out += "{\n  \"schema_version\": 1,\n  \"bench\": \"" + bench +
+         "\",\n  \"rows\": [\n";
+  bool first = true;
+  auto sep = [&]() -> const char* {
+    if (first) {
+      first = false;
+      return "    ";
+    }
+    return ",\n    ";
+  };
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    appendf(out,
+            "%s{\"experiment\": \"%s\", \"kind\": \"counter\", "
+            "\"name\": \"%s\", \"value\": %" PRIu64 "}",
+            sep(), experiment.c_str(), counter_name(static_cast<Counter>(i)),
+            snap.counters[i]);
+  }
+  for (std::size_t h = 0; h < kHistoCount; ++h) {
+    const HistoSnapshot& hs = snap.histos[h];
+    appendf(out,
+            "%s{\"experiment\": \"%s\", \"kind\": \"histogram\", "
+            "\"name\": \"%s\", \"count\": %" PRIu64 ", \"sum\": %" PRIu64
+            ", \"mean\": %.3f, \"p50\": %" PRIu64 ", \"p99\": %" PRIu64
+            ", \"p999\": %" PRIu64 "}",
+            sep(), experiment.c_str(), histo_name(static_cast<Histo>(h)),
+            hs.count(), hs.sum, hs.mean(), hs.quantile(0.50),
+            hs.quantile(0.99), hs.quantile(0.999));
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace compreg::telemetry

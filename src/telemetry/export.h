@@ -1,0 +1,31 @@
+// Exporters for telemetry snapshots.
+//
+// Two formats, one source of truth (the merged Snapshot):
+//
+//   * to_text: line-oriented `counter <name> <value>` and
+//     `histo <name> count=N sum=S mean=M p50=... p99=... p999=...`
+//     records — grep/sscanf-friendly, used by the server's --stats-out
+//     file (the loadgen parses it to assert telemetry conservation and
+//     harvest batch occupancy) and for humans;
+//   * to_json: the repo-wide `schema_version 1` bench envelope
+//     (tools/check_bench_schema.py), one row per counter and one row
+//     per histogram, each tagged with the caller's experiment id.
+//
+// Exporters run off the operation paths (shutdown, periodic scrape), so
+// they may allocate; they still live under the full static audit and
+// therefore avoid `new`/make_* by building into value-type strings.
+#pragma once
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace compreg::telemetry {
+
+std::string to_text(const Snapshot& snap);
+
+// `bench` and `experiment` land in the envelope / row tags verbatim.
+std::string to_json(const Snapshot& snap, const std::string& bench,
+                    const std::string& experiment);
+
+}  // namespace compreg::telemetry

@@ -1,0 +1,71 @@
+#include "telemetry/telemetry.h"
+
+namespace compreg::telemetry {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kOpsReceived: return "ops_received";
+    case Counter::kWritesOk: return "writes_ok";
+    case Counter::kReadsOk: return "reads_ok";
+    case Counter::kUnavailable: return "unavailable";
+    case Counter::kBusy: return "busy";
+    case Counter::kRetries: return "retries";
+    case Counter::kQuorumRounds: return "quorum_rounds";
+    case Counter::kBatchRounds: return "batch_rounds";
+    case Counter::kBatchedReads: return "batched_reads";
+    case Counter::kWritesEnqueued: return "writes_enqueued";
+    case Counter::kWritesDequeued: return "writes_dequeued";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* histo_name(Histo h) {
+  switch (h) {
+    case Histo::kWriteLatencyUs: return "write_latency_us";
+    case Histo::kReadLatencyUs: return "read_latency_us";
+    case Histo::kBatchOccupancy: return "batch_occupancy";
+    case Histo::kQueueDepth: return "queue_depth";
+    case Histo::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t HistoSnapshot::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th value, 1-based; q=0 -> first, q=1 -> last.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  for (std::size_t i = 0; i < kHistoBuckets; ++i) {
+    if (rank <= buckets[i]) return histo_bucket_hi(i);
+    rank -= buckets[i];
+  }
+  return histo_bucket_hi(kHistoBuckets - 1);
+}
+
+void Snapshot::merge_from(const Recorder& r) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    // Relaxed read of a monotone single-writer cell: any value read is
+    // a valid point-in-time lower bound of the writer's total.
+    counters[i] += r.counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t h = 0; h < kHistoCount; ++h) {
+    for (std::size_t b = 0; b < kHistoBuckets; ++b) {
+      const std::size_t cell = h * kHistoBuckets + b;
+      // Same monotone single-writer argument as the counter cells.
+      histos[h].buckets[b] += r.buckets[cell].load(std::memory_order_relaxed);
+    }
+    // Same monotone single-writer argument as the counter cells.
+    histos[h].sum += r.sums[h].load(std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace compreg::telemetry

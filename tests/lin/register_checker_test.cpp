@@ -173,5 +173,99 @@ TEST(PendingWriteTest, TrailingPendingWritePasses) {
   EXPECT_TRUE(check_register_atomicity(h).ok);
 }
 
+// Funneled writes (check_register_atomicity_funneled): many clients
+// write concurrently through a serializing server; `id` is the
+// server-assigned timestamp (the serialization order) and start/end are
+// client-side intervals that overlap freely. The checker asks whether
+// serialization points t_1 < t_2 < ... exist with t_i inside write i's
+// interval.
+
+TEST(FunneledCheckerTest, OverlappingClientWritesAreFeasible) {
+  // Two clients' write intervals overlap — the plain single-writer
+  // checker rejects this shape, the funneled one accepts it because
+  // points 2 < 4 fit inside [1,5] and [3,8].
+  RegisterHistory h;
+  h.writes = {w(1, 1, 5), w(2, 3, 8)};
+  h.reads = {r(2, 9, 10)};
+  EXPECT_FALSE(check_register_atomicity(h).ok);
+  EXPECT_TRUE(check_register_atomicity_funneled(h).ok);
+}
+
+TEST(FunneledCheckerTest, FullyNestedIntervalsAreFeasible) {
+  // id 1's interval contains id 2's entirely; points 3 < 4 work.
+  RegisterHistory h;
+  h.writes = {w(1, 1, 10), w(2, 3, 5)};
+  EXPECT_TRUE(check_register_atomicity_funneled(h).ok);
+}
+
+TEST(FunneledCheckerTest, InfeasibleTimestampOrderRejected) {
+  // id order says write 1 serializes before write 2, but write 2's
+  // interval ended before write 1's began — no monotone placement.
+  RegisterHistory h;
+  h.writes = {w(1, 10, 12), w(2, 1, 5)};
+  const auto res = check_register_atomicity_funneled(h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("no timestamp-monotone write serialization"),
+            std::string::npos)
+      << res.violation;
+}
+
+TEST(FunneledCheckerTest, GreedyPlacementHandlesTightChains) {
+  // Three writes sharing [1,3]: t = 1,2,3 is the only placement; a
+  // fourth in the same window is infeasible.
+  RegisterHistory h;
+  h.writes = {w(1, 1, 3), w(2, 1, 3), w(3, 1, 3)};
+  EXPECT_TRUE(check_register_atomicity_funneled(h).ok);
+  h.writes.push_back(w(4, 1, 3));
+  EXPECT_FALSE(check_register_atomicity_funneled(h).ok);
+}
+
+TEST(FunneledCheckerTest, PendingWriteAdvancesLowerBoundOnly) {
+  // Write 1 is pending (response lost): it needs no upper bound, but
+  // its start still pushes write 2's serialization point past 10 —
+  // which no longer fits inside [1,5].
+  RegisterHistory h;
+  h.writes = {w(1, 10, kPendingEnd), w(2, 1, 5)};
+  EXPECT_FALSE(check_register_atomicity_funneled(h).ok);
+  // With a roomier second interval the same prefix is fine.
+  h.writes[1] = w(2, 1, 15);
+  EXPECT_TRUE(check_register_atomicity_funneled(h).ok);
+}
+
+TEST(FunneledCheckerTest, DuplicateTimestampRejected) {
+  // The server assigns timestamps from one monotone sequence; two
+  // writes sharing one is a serialization bug, not a placement puzzle.
+  RegisterHistory h;
+  h.writes = {w(3, 1, 5), w(3, 2, 8)};
+  const auto res = check_register_atomicity_funneled(h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("duplicate write id"), std::string::npos)
+      << res.violation;
+}
+
+TEST(FunneledCheckerTest, ReadChecksUnchangedUnderFunneling) {
+  // Regularity and inversion checks still apply to the raw intervals.
+  RegisterHistory h;
+  h.writes = {w(1, 1, 2), w(2, 3, 4)};
+  h.reads = {r(1, 5, 6)};  // overwritten
+  EXPECT_FALSE(check_register_atomicity_funneled(h).ok);
+
+  h.reads = {r(2, 5, 6)};
+  EXPECT_TRUE(check_register_atomicity_funneled(h).ok);
+
+  h.writes = {w(1, 1, 2), w(2, 3, 20)};
+  h.reads = {r(2, 4, 5), r(1, 6, 7)};  // new-old inversion
+  EXPECT_FALSE(check_register_atomicity_funneled(h).ok);
+}
+
+TEST(FunneledCheckerTest, UnorderedInputIsSortedById) {
+  // The loadgen appends writes in completion order, not ts order; the
+  // checker must sort by id before placing points.
+  RegisterHistory h;
+  h.writes = {w(2, 3, 8), w(1, 1, 5)};
+  h.reads = {r(2, 9, 10)};
+  EXPECT_TRUE(check_register_atomicity_funneled(h).ok);
+}
+
 }  // namespace
 }  // namespace compreg::lin

@@ -72,7 +72,11 @@ TEST(WireTest, DecodeRejectsBadSizeAndType) {
   bytes[kFrameHeaderBytes] = 0;  // type 0: invalid
   EXPECT_FALSE(decode_payload(bytes.data() + kFrameHeaderBytes,
                               kWireMsgBytes, out));
-  bytes[kFrameHeaderBytes] = 7;  // type past kSyncReply
+  bytes[kFrameHeaderBytes] = 7;  // kWriteReq: the client vocabulary is valid
+  EXPECT_TRUE(decode_payload(bytes.data() + kFrameHeaderBytes,
+                             kWireMsgBytes, out));
+  EXPECT_EQ(out.type, MsgType::kWriteReq);
+  bytes[kFrameHeaderBytes] = 13;  // type past kBusyResp
   EXPECT_FALSE(decode_payload(bytes.data() + kFrameHeaderBytes,
                               kWireMsgBytes, out));
 }

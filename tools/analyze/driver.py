@@ -51,6 +51,8 @@ DEFAULT_TREES = (
     "src/core",
     "src/net",
     "src/prmw",
+    "src/telemetry",
+    "src/server",
 )
 
 # (directory, pass) -> mandatory reason. These subtrees run OUTSIDE the
@@ -67,6 +69,19 @@ EXEMPT_DIRS = {
         "real-socket transport: epoll waits, syscalls, heap buffers and "
         "sleeps are the point of this layer; the wait-free discipline "
         "stops at the Transport seam (see docs/fault_model.md)"
+    ),
+    ("src/server", "waitfree"): (
+        "register service layer: thread handoff between front-end and "
+        "workers is mutex+condvar by design (like src/net/real, it sits "
+        "above the Transport seam); the wait-free discipline applies to "
+        "the telemetry recorders on its operation paths, which live in "
+        "src/telemetry and are audited in full"
+    ),
+    ("src/server", "blocking"): (
+        "register service layer: ReadBatcher and the blocking client "
+        "use mutexes, condvars and socket waits on purpose; liveness is "
+        "wall-clock-bounded by attempt budgets and certified by the "
+        "compreg_loadgen soak ctests, not by per-step wait-freedom"
     ),
 }
 

@@ -17,6 +17,9 @@ This checker enforces the contract downstream diffing relies on:
   * every row carries an "experiment" tag
   * rows that share the same key-set within a bench agree on value
     types key-by-key (an int column cannot silently become a string)
+  * benches with a registered column contract (REQUIRED_COLUMNS) carry
+    every required column in every row — the server soak and the
+    throughput series feed dashboards that hard-code these names
 
 Usage: check_bench_schema.py FILE [FILE...]
 Exit codes: 0 all files conform, 1 violations found, 64 usage/IO error.
@@ -27,6 +30,21 @@ import sys
 
 SCHEMA_VERSION = 1
 _SCALARS = (str, int, float, bool, type(None))
+
+# Per-bench column contracts. A bench listed here must carry every named
+# column in every row; benches not listed are only held to the generic
+# envelope rules above. Extend in lockstep with the emitter.
+REQUIRED_COLUMNS = {
+    "server": {
+        "experiment", "kind", "clients", "ops", "throughput_ops_per_s",
+        "p50_us", "p99_us", "p999_us", "unavailable_rate", "busy",
+        "timeouts", "batch_occupancy_mean", "kills",
+    },
+    "server_telemetry": {"experiment", "kind", "name"},
+    "throughput": {
+        "experiment", "name", "threads", "iterations", "ns_per_op",
+    },
+}
 
 
 def check_file(path, errors):
@@ -63,6 +81,7 @@ def check_file(path, errors):
 
     # type_map[key-set][key] -> type name seen first for that column.
     type_map = {}
+    required = REQUIRED_COLUMNS.get(bench, set())
     for i, r in enumerate(rows):
         if not isinstance(r, dict):
             errors.append("%s: rows[%d] is %s, expected object" %
@@ -71,6 +90,10 @@ def check_file(path, errors):
         if "experiment" not in r:
             errors.append("%s: rows[%d] has no \"experiment\" tag" %
                           (path, i))
+        for col in sorted(required - set(r)):
+            errors.append(
+                "%s: rows[%d] is missing required column \"%s\" for "
+                "bench %r" % (path, i, col, bench))
         shape = frozenset(r)
         cols = type_map.setdefault(shape, {})
         for k, v in r.items():

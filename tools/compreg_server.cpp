@@ -1,0 +1,190 @@
+// compreg_server: the standing multi-client register daemon.
+//
+// Fronts a 2f+1 ABD replica fleet (src/net/real/) with the service
+// layer in src/server/: clients connect over UDS or TCP loopback, speak
+// the length-prefixed client frames of net/real/wire.h, and get typed
+// responses — kWriteOk/kReadOk, explicit kUnavailableResp when the
+// fleet-side retry budget is spent, kBusyResp when admission control is
+// full. Always-on telemetry (src/telemetry/) is exported at shutdown as
+// a text stats file (--stats-out, parsed by compreg_loadgen) and a
+// schema_version-1 JSON file (--json-out, validated by
+// tools/check_bench_schema.py).
+//
+// Modes:
+//   compreg_server [flags]              serve an already-running fleet
+//   compreg_server --spawn-fleet [...]  spawn the fleet too (demo mode)
+//   compreg_server --replica [...]      replica child (fleet member)
+//
+// SIGTERM/SIGINT triggers a graceful drain: stop admitting, finish
+// every in-flight op, stop the workers, export telemetry, and verify
+// the conservation invariant (received == ok + unavailable + busy).
+// Exit 0 = clean shutdown with conservation intact; 1 = violated.
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "server/server.h"
+#include "telemetry/export.h"
+#include "fleet_common.h"
+
+namespace {
+
+using compreg::server::Server;
+using compreg::server::ServerConfig;
+using compreg::tools::epoch_to_ns;
+using compreg::tools::Fleet;
+using compreg::tools::FleetConfig;
+using compreg::tools::kExitUsage;
+using compreg::tools::mix_seed;
+using compreg::tools::run_replica_child;
+using compreg::net::real::TransportKind;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) {
+  // Async-signal-safe: a lock-free relaxed store on the latch.
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "--replica")) {
+    return run_replica_child(argc, argv);
+  }
+
+  ServerConfig cfg;
+  bool spawn_fleet = false;
+  std::string stats_out;
+  std::string json_out;
+  std::string experiment = "E20";
+  cfg.epoch_ns = epoch_to_ns(std::chrono::steady_clock::now());
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--kind")) {
+      cfg.kind = !std::strcmp(next("--kind"), "tcp") ? TransportKind::kTcp
+                                                     : TransportKind::kUds;
+    } else if (!std::strcmp(argv[i], "--f")) {
+      cfg.f = std::atoi(next("--f"));
+    } else if (!std::strcmp(argv[i], "--dir")) {
+      cfg.fleet_dir = next("--dir");
+    } else if (!std::strcmp(argv[i], "--front-dir")) {
+      cfg.front_dir = next("--front-dir");
+    } else if (!std::strcmp(argv[i], "--base-port")) {
+      cfg.fleet_base_port = std::atoi(next("--base-port"));
+    } else if (!std::strcmp(argv[i], "--front-port")) {
+      cfg.front_base_port = std::atoi(next("--front-port"));
+    } else if (!std::strcmp(argv[i], "--max-inflight")) {
+      cfg.max_inflight =
+          static_cast<std::uint32_t>(std::atoi(next("--max-inflight")));
+    } else if (!std::strcmp(argv[i], "--attempt-ms")) {
+      cfg.attempt_ms = static_cast<unsigned>(std::atoi(next("--attempt-ms")));
+    } else if (!std::strcmp(argv[i], "--max-attempts")) {
+      cfg.max_attempts =
+          static_cast<unsigned>(std::atoi(next("--max-attempts")));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      cfg.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--plan")) {
+      cfg.plan_text = next("--plan");
+    } else if (!std::strcmp(argv[i], "--epoch-ns")) {
+      cfg.epoch_ns = std::strtoll(next("--epoch-ns"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--stats-out")) {
+      stats_out = next("--stats-out");
+    } else if (!std::strcmp(argv[i], "--json-out")) {
+      json_out = next("--json-out");
+    } else if (!std::strcmp(argv[i], "--experiment")) {
+      experiment = next("--experiment");
+    } else if (!std::strcmp(argv[i], "--spawn-fleet")) {
+      spawn_fleet = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return kExitUsage;
+    }
+  }
+  if (cfg.fleet_dir.empty() && cfg.kind == TransportKind::kUds) {
+    std::fprintf(stderr, "need --dir (fleet socket/data directory)\n");
+    return kExitUsage;
+  }
+  if (cfg.front_dir.empty()) cfg.front_dir = cfg.fleet_dir + "/front";
+
+  {
+    const std::string cmd = "mkdir -p '" + cfg.front_dir + "'";
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "cannot create front dir %s\n",
+                   cfg.front_dir.c_str());
+      return kExitUsage;
+    }
+  }
+
+  // Demo/convenience mode: own the fleet ourselves. (The loadgen owns
+  // the fleet in chaos runs so it can kill-9 members.)
+  const auto epoch = compreg::tools::epoch_from_ns(cfg.epoch_ns);
+  std::unique_ptr<Fleet> fleet;
+  if (spawn_fleet) {
+    FleetConfig fc;
+    fc.f = cfg.f;
+    fc.kind = cfg.kind;
+    fc.base_port = cfg.fleet_base_port;
+    fc.dir = cfg.fleet_dir;
+    fc.plan_text = cfg.plan_text;
+    fc.seed = cfg.seed;
+    fleet = std::make_unique<Fleet>(fc, epoch);
+    // Fleet::start wipes the directory; recreate the front dir after.
+    if (!fleet->start()) return 1;
+    const std::string cmd = "mkdir -p '" + cfg.front_dir + "'";
+    if (std::system(cmd.c_str()) != 0) return 1;
+    if (!fleet->wait_all_serving(std::chrono::milliseconds(15000))) {
+      std::fprintf(stderr, "fleet startup failure\n");
+      return 1;
+    }
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("compreg_server: serving (kind=%s f=%d max_inflight=%u)\n",
+              cfg.kind == TransportKind::kTcp ? "tcp" : "uds", cfg.f,
+              cfg.max_inflight);
+  std::fflush(stdout);
+
+  Server server(cfg);
+  server.run(g_stop);
+
+  const auto snap = server.registry().snapshot();
+  const auto cons = server.conservation();
+  std::printf("telemetry conservation: %s (received=%llu writes_ok=%llu "
+              "reads_ok=%llu unavailable=%llu busy=%llu)\n",
+              cons.ok ? "OK" : "VIOLATION",
+              static_cast<unsigned long long>(cons.received),
+              static_cast<unsigned long long>(cons.writes_ok),
+              static_cast<unsigned long long>(cons.reads_ok),
+              static_cast<unsigned long long>(cons.unavailable),
+              static_cast<unsigned long long>(cons.busy));
+
+  if (!stats_out.empty()) {
+    std::ofstream out(stats_out);
+    out << compreg::telemetry::to_text(snap);
+    out << "conservation " << (cons.ok ? "OK" : "VIOLATION") << "\n";
+  }
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << compreg::telemetry::to_json(snap, "server_telemetry", experiment);
+  }
+  if (fleet) fleet->sup().terminate_all(std::chrono::milliseconds(2000));
+  return cons.ok ? 0 : 1;
+}

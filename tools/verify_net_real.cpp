@@ -57,6 +57,7 @@
 #include "net/real/replica.h"
 #include "net/real/supervisor.h"
 #include "net/real/transport.h"
+#include "fleet_common.h"
 #include "verify_common.h"
 
 namespace {
@@ -78,82 +79,18 @@ using compreg::net::real::Supervisor;
 using compreg::net::real::TransportConfig;
 using compreg::net::real::TransportKind;
 using compreg::tools::Artifact;
+using compreg::tools::AuditStart;
+using compreg::tools::epoch_to_ns;
+using compreg::tools::Fleet;
+using compreg::tools::FleetConfig;
 using compreg::tools::kExitUsage;
 using compreg::tools::kExitViolation;
 using compreg::tools::LiveState;
+using compreg::tools::mix_seed;
+using compreg::tools::run_replica_child;
+using compreg::tools::SteadyPoint;
 using compreg::tools::Watchdog;
 using compreg::tools::write_artifact;
-
-using SteadyPoint = std::chrono::steady_clock::time_point;
-
-constexpr char kSelfExe[] = "/proc/self/exe";
-
-std::uint64_t mix_seed(std::uint64_t base, int node) {
-  return base ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(node + 1));
-}
-
-SteadyPoint epoch_from_ns(std::int64_t ns) {
-  return SteadyPoint(std::chrono::duration_cast<SteadyPoint::duration>(
-      std::chrono::nanoseconds(ns)));
-}
-
-std::int64_t epoch_to_ns(SteadyPoint epoch) {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             epoch.time_since_epoch())
-      .count();
-}
-
-// ---------------------------------------------------------------------------
-// Replica child mode: `verify_net_real --replica --node N ...`
-
-int run_replica_child(int argc, char** argv) {
-  ReplicaConfig cfg;
-  std::string plan_text;
-  std::int64_t epoch_ns = 0;
-  for (int i = 2; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "replica: missing value for %s\n", argv[i]);
-        std::exit(kExitUsage);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--node")) {
-      cfg.transport.self = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--f")) {
-      cfg.f = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--dir")) {
-      cfg.data_dir = next();
-    } else if (!std::strcmp(argv[i], "--kind")) {
-      cfg.transport.kind = !std::strcmp(next(), "tcp") ? TransportKind::kTcp
-                                                       : TransportKind::kUds;
-    } else if (!std::strcmp(argv[i], "--base-port")) {
-      cfg.transport.base_port = static_cast<std::uint16_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--epoch-ns")) {
-      epoch_ns = std::strtoll(next(), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--seed")) {
-      cfg.seed = std::strtoull(next(), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--plan")) {
-      plan_text = next();
-    } else {
-      std::fprintf(stderr, "replica: unknown flag %s\n", argv[i]);
-      return kExitUsage;
-    }
-  }
-  cfg.transport.replicas = 2 * cfg.f + 1;
-  cfg.transport.dir = cfg.data_dir;
-  cfg.epoch = epoch_from_ns(epoch_ns);
-  if (!plan_text.empty()) {
-    std::string error;
-    auto plan = NetFaultPlan::parse(plan_text, &error);
-    if (!plan) {
-      std::fprintf(stderr, "replica: bad --plan: %s\n", error.c_str());
-      return kExitUsage;
-    }
-    cfg.plan = *std::move(plan);
-  }
-  return compreg::net::real::run_replica(cfg);
-}
 
 // ---------------------------------------------------------------------------
 // Harness options
@@ -179,6 +116,16 @@ struct Options {
   const char* kind_name() const {
     return kind == TransportKind::kTcp ? "tcp" : "uds";
   }
+  FleetConfig fleet_config() const {
+    FleetConfig cfg;
+    cfg.f = f;
+    cfg.kind = kind;
+    cfg.base_port = base_port;
+    cfg.dir = dir;
+    cfg.plan_text = plan_text;
+    cfg.seed = seed;
+    return cfg;
+  }
 };
 
 std::string replay_command(const Options& opt) {
@@ -192,116 +139,6 @@ std::string replay_command(const Options& opt) {
   os << "  # wall-clock chaos: replays the scenario, not the schedule";
   return os.str();
 }
-
-// ---------------------------------------------------------------------------
-// Fleet: supervisor + audit-log bookkeeping
-
-struct AuditStart {
-  int node = -1;
-  std::uint64_t durable_ts = 0;
-  int existed = 0;
-  std::int64_t t_ns = 0;
-};
-
-class Fleet {
- public:
-  Fleet(const Options& opt, SteadyPoint epoch)
-      : opt_(opt), epoch_(epoch), sup_(epoch) {}
-
-  const std::string& dir() const { return dir_; }
-  Supervisor& sup() { return sup_; }
-  std::string audit_path() const { return dir_ + "/audit.log"; }
-
-  // Creates (or wipes) the data directory and spawns every replica.
-  bool start(const std::string& subdir = std::string()) {
-    dir_ = opt_.dir + (subdir.empty() ? "" : "/" + subdir);
-    const std::string cmd = "rm -rf '" + dir_ + "' && mkdir -p '" + dir_ + "'";
-    if (std::system(cmd.c_str()) != 0) {
-      std::fprintf(stderr, "cannot prepare data dir %s\n", dir_.c_str());
-      return false;
-    }
-    for (int node = 0; node < opt_.replicas(); ++node) spawn(node);
-    return true;
-  }
-
-  void spawn(int node) {
-    std::vector<std::string> argv = {
-        kSelfExe,
-        "--replica",
-        "--node", std::to_string(node),
-        "--f", std::to_string(opt_.f),
-        "--dir", dir_,
-        "--kind", opt_.kind_name(),
-        "--base-port", std::to_string(opt_.base_port),
-        "--epoch-ns", std::to_string(epoch_to_ns(epoch_)),
-        "--seed", std::to_string(mix_seed(opt_.seed, 100 + node)),
-    };
-    if (!opt_.plan_text.empty()) {
-      argv.push_back("--plan");
-      argv.push_back(opt_.plan_text);
-    }
-    sup_.spawn(node, argv);
-  }
-
-  int serving_count(int node) const {
-    int count = 0;
-    std::ifstream in(audit_path());
-    std::string line;
-    while (std::getline(in, line)) {
-      int got = -1;
-      std::uint64_t ts = 0;
-      std::int64_t t = 0;
-      if (std::sscanf(line.c_str(),
-                      "serving node=%d ts=%" SCNu64 " t_ns=%" SCNd64, &got,
-                      &ts, &t) == 3 &&
-          got == node) {
-        ++count;
-      }
-    }
-    return count;
-  }
-
-  std::vector<AuditStart> starts() const {
-    std::vector<AuditStart> out;
-    std::ifstream in(audit_path());
-    std::string line;
-    while (std::getline(in, line)) {
-      AuditStart s;
-      if (std::sscanf(line.c_str(),
-                      "start node=%d durable_ts=%" SCNu64
-                      " existed=%d t_ns=%" SCNd64,
-                      &s.node, &s.durable_ts, &s.existed, &s.t_ns) == 4) {
-        out.push_back(s);
-      }
-    }
-    return out;
-  }
-
-  bool wait_serving(int node, int min_count, std::chrono::milliseconds limit) {
-    const Deadline deadline = Deadline::after(limit);
-    while (!deadline.expired()) {
-      if (serving_count(node) >= min_count) return true;
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-    return false;
-  }
-
-  bool wait_all_serving(std::chrono::milliseconds limit) {
-    for (int node = 0; node < opt_.replicas(); ++node) {
-      if (!wait_serving(node, 1, limit)) {
-        std::fprintf(stderr, "replica %d never reached serving\n", node);
-        return false;
-      }
-    }
-    return true;
-  }
-
- private:
-  const Options& opt_;
-  SteadyPoint epoch_;
-  Supervisor sup_;
-  std::string dir_;
-};
 
 // ---------------------------------------------------------------------------
 // Client workers
@@ -476,7 +313,7 @@ int run_chaos(const Options& opt, LiveState& live,
   const SteadyPoint epoch = std::chrono::steady_clock::now();
   live.set(opt.seed, "", opt.plan_text);
 
-  Fleet fleet(opt, epoch);
+  Fleet fleet(opt.fleet_config(), epoch);
   if (!fleet.start()) return kExitViolation;
   if (!fleet.wait_all_serving(std::chrono::milliseconds(15000))) {
     write_artifact(opt.artifact, "fleet startup failure", opt.seed, "",
@@ -602,7 +439,7 @@ int run_kill_majority(const Options& opt, LiveState& live,
                       std::atomic<std::uint64_t>& progress) {
   const SteadyPoint epoch = std::chrono::steady_clock::now();
   live.set(opt.seed, "", opt.plan_text);
-  Fleet fleet(opt, epoch);
+  Fleet fleet(opt.fleet_config(), epoch);
   if (!fleet.start()) return kExitViolation;
   if (!fleet.wait_all_serving(std::chrono::milliseconds(15000))) {
     std::fprintf(stderr, "fleet startup failure\n");
@@ -708,7 +545,7 @@ int run_bench(Options opt, std::atomic<std::uint64_t>& progress) {
       cfg.base_port = opt.base_port + 16 * cell;
       ++cell;
       const SteadyPoint epoch = std::chrono::steady_clock::now();
-      Fleet fleet(cfg, epoch);
+      Fleet fleet(cfg.fleet_config(), epoch);
       if (!fleet.start("bench-l" + std::to_string(loss) + "-f" +
                        std::to_string(f))) {
         return kExitViolation;
